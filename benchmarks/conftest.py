@@ -1,0 +1,87 @@
+"""Shared fixtures and report helpers for the paper-reproduction benches.
+
+Every file in this directory regenerates one table or figure of the
+INCEPTIONN paper (plus ablations).  Benches print their rows next to
+the paper's reported values and assert the qualitative *shape* (who
+wins, by roughly what factor) rather than absolute numbers — our
+substrate is a simulator, not the authors' testbed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dnn import (
+    LRSchedule,
+    SGD,
+    build_hdc,
+    build_mini_cnn,
+    capture_gradient_trace,
+    cnn_dataset,
+    hdc_dataset,
+)
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def print_row(label: str, *columns: str, width: int = 14) -> None:
+    print(f"{label:<24}" + "".join(f"{c:>{width}}" for c in columns))
+
+
+@pytest.fixture(scope="session")
+def hdc_gradient_trace():
+    """Gradient snapshots from a real HDC training run (early/mid/final)."""
+    ds = hdc_dataset(train_size=800, test_size=100, seed=0)
+    net = build_hdc(seed=0)
+    opt = SGD(LRSchedule(0.05), momentum=0.9, weight_decay=5e-5)
+    iterations = 120
+    return capture_gradient_trace(
+        net,
+        opt,
+        ds,
+        batch_size=25,
+        iterations=iterations,
+        capture_at=[1, iterations // 2, iterations - 1],
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def cnn_gradient_trace():
+    """Gradient snapshots from the convolutional AlexNet proxy."""
+    ds = cnn_dataset(train_size=400, test_size=80, seed=0)
+    net = build_mini_cnn(seed=0)
+    opt = SGD(LRSchedule(0.05), momentum=0.9, weight_decay=5e-5)
+    iterations = 60
+    return capture_gradient_trace(
+        net,
+        opt,
+        ds,
+        batch_size=32,
+        iterations=iterations,
+        capture_at=[1, iterations // 2, iterations - 1],
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def shell_gradients():
+    """Synthetic gradient vectors for the paper-scale shell models."""
+    from repro.dnn import PAPER_MODELS
+
+    rng = np.random.default_rng(42)
+    return {
+        name: spec.synthetic_gradients(rng, size=1 << 18)
+        for name, spec in PAPER_MODELS.items()
+    }
+
+
+def run_once(benchmark, fn):
+    """Benchmark an expensive experiment exactly once."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

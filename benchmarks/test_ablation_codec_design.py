@@ -1,0 +1,90 @@
+"""Ablation: the tag/payload codec vs alternatives at equal error bound.
+
+Compares INCEPTIONN's 2-bit-tag scheme against plain truncation and the
+SZ-like predictive coder on the ratio/error/complexity trade-off, at the
+same absolute error target.  The design claim: for gradient-shaped data
+the tag scheme gets most of SZ's ratio with none of its sequential
+(prediction-chain) structure — which is what makes it implementable as
+eight independent combinational blocks in the NIC.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_header, print_row, run_once
+from repro.baselines import sz_like, truncate_lsbs
+from repro.core import ErrorBound, compression_ratio, max_abs_error, roundtrip
+
+
+def _gradientlike(n=200_000, seed=0):
+    rng = np.random.default_rng(seed)
+    core = rng.standard_normal(n).astype(np.float32) * 0.002
+    tail = rng.standard_normal(n).astype(np.float32) * 0.1
+    mask = rng.random(n) < 0.1
+    return np.where(mask, tail, core).astype(np.float32)
+
+
+def test_codec_vs_alternatives_at_equal_bound(benchmark):
+    def run():
+        values = _gradientlike()
+        out = {}
+        for exp in (10, 8, 6):
+            bound = ErrorBound(exp)
+            inc_ratio = compression_ratio(values, bound)
+            inc_err = max_abs_error(values, roundtrip(values, bound))
+            sz_ratio = sz_like.compression_ratio(values, bound.bound)
+            sz_out = sz_like.decompress(
+                sz_like.compress(values, bound.bound), bound.bound
+            )
+            sz_err = max_abs_error(values, sz_out)
+            # Truncation width with comparable worst-case error on
+            # (-1,1): drop enough mantissa LSBs that the absolute error
+            # near 1.0 is ~bound -> keep (exp) fraction bits.
+            bits = 23 - exp
+            tr_ratio = 32.0 / (32 - bits)
+            tr_err = max_abs_error(values, truncate_lsbs(values, bits))
+            out[exp] = {
+                "INC": (inc_ratio, inc_err),
+                "SZ-like": (sz_ratio, sz_err),
+                "trunc": (tr_ratio, tr_err),
+            }
+        return out
+
+    results = run_once(benchmark, run)
+    print_header("Ablation: ratio and max error at equal error target")
+    print_row("bound / scheme", "ratio", "max err")
+    for exp, row in results.items():
+        for scheme, (ratio, err) in row.items():
+            print_row(f"2^-{exp} {scheme}", f"{ratio:.2f}", f"{err:.2e}")
+
+    for exp, row in results.items():
+        bound = 2.0**-exp
+        inc_ratio, inc_err = row["INC"]
+        tr_ratio, tr_err = row["trunc"]
+        # All schemes respect their error target.
+        assert inc_err < bound
+        assert row["SZ-like"][1] <= bound * 1.001
+        # The codec clearly beats equal-error truncation on ratio.
+        assert inc_ratio > tr_ratio * 1.5
+
+
+def test_codec_is_parallel_sz_is_sequential(benchmark):
+    """Structural check behind the hardware argument: INCEPTIONN's codec
+    is value-parallel (compressing a permutation permutes the output),
+    while the SZ-like coder is order-dependent (prediction chain)."""
+
+    def run():
+        values = _gradientlike(n=4096, seed=1)
+        perm = np.random.default_rng(2).permutation(values.size)
+        bound = ErrorBound(10)
+        inc_direct = roundtrip(values, bound)[perm]
+        inc_permuted = roundtrip(values[perm], bound)
+        sz_direct = sz_like.compress(values, bound.bound)
+        sz_permuted = sz_like.compress(values[perm], bound.bound)
+        return inc_direct, inc_permuted, len(sz_direct), len(sz_permuted)
+
+    inc_direct, inc_permuted, sz_a, sz_b = run_once(benchmark, run)
+    np.testing.assert_array_equal(inc_direct, inc_permuted)
+    # The SZ-like stream generally changes size under permutation —
+    # evidence of cross-value coupling (we only assert it ran).
+    assert sz_a > 0 and sz_b > 0

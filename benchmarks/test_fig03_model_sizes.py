@@ -1,0 +1,47 @@
+"""Fig 3: model sizes and the communication share of training time.
+
+(a) Weight/gradient sizes of AlexNet, VGG-16, ResNet-152.
+(b) Percentage of total training time spent exchanging g and w on the
+    five-node worker-aggregator cluster with 10 GbE.
+"""
+
+import pytest
+
+from conftest import print_header, print_row, run_once
+from repro.dnn import PAPER_MODELS
+from repro.perfmodel import simulated_breakdown
+
+FIG3_MODELS = ("AlexNet", "ResNet-152", "VGG-16")
+#: Fig 3(b)'s approximate bar heights.
+PAPER_COMM_PERCENT = {"AlexNet": 75.7, "ResNet-152": 80.0, "VGG-16": 70.9}
+
+
+def test_fig3a_model_sizes(benchmark):
+    sizes = run_once(
+        benchmark, lambda: {m: PAPER_MODELS[m].size_mb for m in FIG3_MODELS}
+    )
+    print_header("Fig 3(a): model size (MB)")
+    print_row("model", "ours", "paper")
+    for model in FIG3_MODELS:
+        print_row(model, f"{sizes[model]:.0f}", f"{PAPER_MODELS[model].size_mb:.0f}")
+    assert sizes["VGG-16"] > sizes["AlexNet"] > sizes["ResNet-152"] * 0.9
+    assert sizes["AlexNet"] == 233
+    assert sizes["VGG-16"] == 525
+
+
+def test_fig3b_communication_fraction(benchmark):
+    def run():
+        return {
+            m: simulated_breakdown(m, num_workers=4, iterations=5)
+            for m in FIG3_MODELS
+        }
+
+    breakdowns = run_once(benchmark, run)
+    print_header("Fig 3(b): % of training time spent communicating (5-node WA)")
+    print_row("model", "ours %", "paper %")
+    for model in FIG3_MODELS:
+        bd = breakdowns[model]
+        ours = 100 * bd.communicate / bd.total
+        print_row(model, f"{ours:.1f}", f"{PAPER_COMM_PERCENT[model]:.1f}")
+        # Shape: communication dominates training for every model.
+        assert ours > 50.0

@@ -1,0 +1,71 @@
+"""Fig 5: distribution of gradient values across training stages.
+
+The codec's two founding observations, measured on real training runs:
+values fall in (-1, 1) and the distribution peaks tightly around zero,
+at the early, middle and final stages alike.
+"""
+
+import numpy as np
+
+from conftest import print_header, print_row, run_once
+from repro.core import value_histogram
+
+STAGE_NAMES = ("early", "middle", "final")
+
+
+def _stage_stats(trace):
+    stats = {}
+    for stage, (iteration, grads) in zip(STAGE_NAMES, sorted(trace.items())):
+        inside = float(np.mean(np.abs(grads) < 1.0))
+        near_zero = float(np.mean(np.abs(grads) < 0.01))
+        freqs, edges = value_histogram(grads, bins=41)
+        center = freqs[len(freqs) // 2]
+        stats[stage] = {
+            "iteration": iteration,
+            "inside_unit": inside,
+            "near_zero": near_zero,
+            "peak_bin": center,
+            "std": float(np.std(grads)),
+        }
+    return stats
+
+
+def _report(name, stats):
+    print_header(f"Fig 5 ({name}): gradient value distribution by stage")
+    print_row("stage", "|g|<1", "|g|<0.01", "peak bin", "std")
+    for stage in STAGE_NAMES:
+        s = stats[stage]
+        print_row(
+            f"{stage} (iter {s['iteration']})",
+            f"{s['inside_unit']:.4f}",
+            f"{s['near_zero']:.3f}",
+            f"{s['peak_bin']:.3f}",
+            f"{s['std']:.4f}",
+        )
+
+
+def test_fig5_hdc(benchmark, hdc_gradient_trace):
+    stats = run_once(benchmark, lambda: _stage_stats(hdc_gradient_trace))
+    _report("HDC", stats)
+    for stage in STAGE_NAMES:
+        # Essentially all values inside (-1, 1)...
+        assert stats[stage]["inside_unit"] > 0.995
+        # ...with a tight near-zero peak.
+        assert stats[stage]["near_zero"] > 0.5
+        assert stats[stage]["peak_bin"] > 0.2
+
+
+def test_fig5_cnn_proxy(benchmark, cnn_gradient_trace):
+    stats = run_once(benchmark, lambda: _stage_stats(cnn_gradient_trace))
+    _report("AlexNet proxy", stats)
+    for stage in STAGE_NAMES:
+        assert stats[stage]["inside_unit"] > 0.99
+        assert stats[stage]["near_zero"] > 0.4
+
+
+def test_fig5_distribution_persists_across_stages(hdc_gradient_trace):
+    """The shape is stable over training, which is what lets one codec
+    configuration serve the whole run."""
+    stats = _stage_stats(hdc_gradient_trace)
+    concentrations = [stats[s]["near_zero"] for s in STAGE_NAMES]
+    assert max(concentrations) - min(concentrations) < 0.5

@@ -1,0 +1,52 @@
+"""Table I: training hyper-parameters of the benchmark DNNs."""
+
+from conftest import print_header, print_row, run_once
+from repro.dnn import PAPER_MODELS
+
+TABLE1_MODELS = ("AlexNet", "HDC", "ResNet-50", "VGG-16")
+
+
+def test_table1_hyperparameters(benchmark):
+    rows = run_once(
+        benchmark, lambda: {m: PAPER_MODELS[m].hyper for m in TABLE1_MODELS}
+    )
+    print_header("Table I: hyper-parameters")
+    print_row("parameter", *TABLE1_MODELS)
+    print_row("batch/node", *[str(rows[m].per_node_batch) for m in TABLE1_MODELS])
+    print_row("LR", *[f"{rows[m].learning_rate:g}" for m in TABLE1_MODELS])
+    print_row("LR reduction", *[f"{rows[m].lr_reduction:g}" for m in TABLE1_MODELS])
+    print_row(
+        "LR period",
+        *[str(rows[m].lr_reduction_every) for m in TABLE1_MODELS],
+    )
+    print_row("momentum", *[f"{rows[m].momentum:g}" for m in TABLE1_MODELS])
+    print_row(
+        "weight decay", *[f"{rows[m].weight_decay:g}" for m in TABLE1_MODELS]
+    )
+    print_row(
+        "iterations", *[str(rows[m].training_iterations) for m in TABLE1_MODELS]
+    )
+
+    # Paper values, verbatim.
+    assert [rows[m].per_node_batch for m in TABLE1_MODELS] == [64, 25, 16, 64]
+    assert [rows[m].learning_rate for m in TABLE1_MODELS] == [0.01, 0.1, 0.1, 0.01]
+    assert [rows[m].lr_reduction for m in TABLE1_MODELS] == [10, 5, 10, 10]
+    assert [rows[m].lr_reduction_every for m in TABLE1_MODELS] == [
+        100_000, 2_000, 200_000, 100_000,
+    ]
+    assert all(rows[m].momentum == 0.9 for m in TABLE1_MODELS)
+    assert [rows[m].weight_decay for m in TABLE1_MODELS] == [
+        0.00005, 0.00005, 0.0001, 0.00005,
+    ]
+    assert [rows[m].training_iterations for m in TABLE1_MODELS] == [
+        320_000, 10_000, 600_000, 370_000,
+    ]
+
+
+def test_table1_optimizers_constructible(benchmark):
+    def run():
+        return {m: PAPER_MODELS[m].hyper.make_optimizer() for m in TABLE1_MODELS}
+
+    optimizers = run_once(benchmark, run)
+    for m in TABLE1_MODELS:
+        assert optimizers[m].lr == PAPER_MODELS[m].hyper.learning_rate

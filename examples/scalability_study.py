@@ -1,0 +1,54 @@
+"""Scalability study: gradient-exchange time as the cluster grows.
+
+Reproduces the Fig 15 experiment over a wider node range than the
+paper's 4-8, with the analytical alpha/beta/gamma model overlaid on the
+event simulation.
+
+Run:  python examples/scalability_study.py [model]
+"""
+
+import sys
+
+from repro.dnn import PAPER_MODELS
+from repro.perfmodel import (
+    CostParameters,
+    compute_profile_for,
+    ring_exchange_time,
+    simulate_ring_exchange,
+    simulate_wa_exchange,
+    wa_exchange_time,
+)
+
+
+def main(model_name: str = "AlexNet") -> None:
+    spec = PAPER_MODELS[model_name]
+    profile = compute_profile_for(model_name)
+    params = CostParameters.from_rates(2e-6, 10e9, profile.sum_bandwidth_bps)
+
+    print(
+        f"gradient exchange of {model_name} ({spec.size_mb:.0f} MB), "
+        "seconds per iteration\n"
+    )
+    print(
+        f"{'nodes':>6}{'WA sim':>10}{'WA model':>10}"
+        f"{'INC sim':>10}{'INC model':>10}{'INC speedup':>12}"
+    )
+    for p in (2, 4, 6, 8, 12, 16):
+        wa_sim = simulate_wa_exchange(p, spec.nbytes, profile=profile).total_s
+        inc_sim = simulate_ring_exchange(p, spec.nbytes, profile=profile).total_s
+        wa_model = wa_exchange_time(p, spec.nbytes, params)
+        inc_model = ring_exchange_time(p, spec.nbytes, params)
+        print(
+            f"{p:>6}{wa_sim:>10.3f}{wa_model:>10.3f}"
+            f"{inc_sim:>10.3f}{inc_model:>10.3f}{wa_sim / inc_sim:>11.2f}x"
+        )
+
+    print(
+        "\nWA grows linearly with the cluster (everything funnels through\n"
+        "the aggregator); the INCEPTIONN ring saturates at 2n beta per node\n"
+        "— the paper's Sec. VIII-D scalability argument, measured."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "AlexNet")

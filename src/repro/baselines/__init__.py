@@ -1,0 +1,38 @@
+"""Comparator baselines: truncation, snappy-like LZ, SZ-like, cost models."""
+
+from . import snappy_like, sz_like
+from .quantization import OneBitSGD, QuantizationResult, qsgd, terngrad
+from .sparsification import DeepGradientCompression, SparsificationResult
+from .software_cost import (
+    SOFTWARE_CODECS,
+    SoftwareCodec,
+    baseline_training_time,
+    software_training_time,
+)
+from .truncation import (
+    PAPER_TRUNCATIONS,
+    make_truncation_hook,
+    truncate_lsbs,
+    truncation_max_error,
+    truncation_ratio,
+)
+
+__all__ = [
+    "snappy_like",
+    "sz_like",
+    "OneBitSGD",
+    "QuantizationResult",
+    "qsgd",
+    "terngrad",
+    "DeepGradientCompression",
+    "SparsificationResult",
+    "SOFTWARE_CODECS",
+    "SoftwareCodec",
+    "baseline_training_time",
+    "software_training_time",
+    "PAPER_TRUNCATIONS",
+    "make_truncation_hook",
+    "truncate_lsbs",
+    "truncation_max_error",
+    "truncation_ratio",
+]

@@ -1,0 +1,109 @@
+"""Gradient quantization baselines from the paper's related work.
+
+Sec. IX cites three algorithmic gradient-reduction families that
+INCEPTIONN positions itself against; all three are implemented here so
+the comparison benches can run them on the same gradient traces:
+
+* **1-bit SGD** (Seide et al., INTERSPEECH'14 [25]): sign quantization
+  with error feedback — each value becomes one bit plus two shared
+  scales; the quantization residual is carried into the next batch.
+* **TernGrad** (Wen et al., NIPS'17 [26]): stochastic ternarization to
+  {-s, 0, +s} with a per-vector scale.
+* **QSGD** (Alistarh et al., NIPS'17 [27]): stochastic uniform
+  quantization to ``2^bits - 1`` levels of the normalized magnitude,
+  unbiased by construction.
+
+These are *algorithmic* compressors: software-side, stateful (1-bit
+SGD), or randomized (TernGrad/QSGD) — properties that complicate a
+stateless in-NIC implementation, which is the co-design argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class QuantizationResult:
+    """A quantized gradient plus its bookkeeping."""
+
+    values: np.ndarray  # dequantized (what the receiver trains with)
+    payload_bits: int  # wire size of the quantized representation
+
+    @property
+    def compression_ratio(self) -> float:
+        original = self.values.size * 32
+        return original / self.payload_bits if self.payload_bits else float("inf")
+
+
+class OneBitSGD:
+    """Sign quantization with error-feedback state (1-bit SGD).
+
+    Stateful: the residual of iteration *t* is added to the gradient of
+    iteration *t+1* before quantizing, which is what keeps training
+    converging despite the brutal 1-bit representation.
+    """
+
+    def __init__(self) -> None:
+        self._residual: Optional[np.ndarray] = None
+
+    def quantize(self, gradient: np.ndarray) -> QuantizationResult:
+        grad = np.ascontiguousarray(gradient, dtype=np.float32).reshape(-1)
+        if self._residual is not None and self._residual.shape == grad.shape:
+            grad = grad + self._residual
+        positive = grad >= 0
+        # Per-sign mean magnitudes reconstruct an unbiased-ish estimate.
+        pos_scale = float(grad[positive].mean()) if positive.any() else 0.0
+        neg_scale = float(grad[~positive].mean()) if (~positive).any() else 0.0
+        values = np.where(positive, pos_scale, neg_scale).astype(np.float32)
+        self._residual = (grad - values).astype(np.float32)
+        # 1 bit per value + two float32 scales.
+        return QuantizationResult(values=values, payload_bits=grad.size + 64)
+
+    def reset(self) -> None:
+        self._residual = None
+
+
+def terngrad(
+    gradient: np.ndarray, rng: np.random.Generator
+) -> QuantizationResult:
+    """Stochastic ternarization: g -> s * sign(g) * b, b ~ Bernoulli(|g|/s)."""
+    grad = np.ascontiguousarray(gradient, dtype=np.float32).reshape(-1)
+    scale = float(np.max(np.abs(grad))) if grad.size else 0.0
+    if scale == 0.0:
+        return QuantizationResult(
+            values=np.zeros_like(grad), payload_bits=2 * grad.size + 32
+        )
+    probability = np.abs(grad) / scale
+    keep = rng.random(grad.size) < probability
+    values = np.where(keep, np.sign(grad) * scale, 0.0).astype(np.float32)
+    # 2 bits per value (ternary) + one float32 scale.
+    return QuantizationResult(values=values, payload_bits=2 * grad.size + 32)
+
+
+def qsgd(
+    gradient: np.ndarray, rng: np.random.Generator, bits: int = 4
+) -> QuantizationResult:
+    """QSGD stochastic uniform quantization with ``2^bits - 1`` levels."""
+    if not 1 <= bits <= 16:
+        raise ValueError(f"bits must be in [1, 16], got {bits}")
+    grad = np.ascontiguousarray(gradient, dtype=np.float32).reshape(-1)
+    norm = float(np.linalg.norm(grad))
+    if norm == 0.0:
+        return QuantizationResult(
+            values=np.zeros_like(grad), payload_bits=(bits + 1) * grad.size + 32
+        )
+    levels = (1 << bits) - 1
+    scaled = np.abs(grad) / norm * levels
+    floor = np.floor(scaled)
+    # Stochastic rounding keeps the estimator unbiased.
+    up = rng.random(grad.size) < (scaled - floor)
+    quantized = floor + up
+    values = (np.sign(grad) * quantized / levels * norm).astype(np.float32)
+    # sign + level bits per value, plus the norm.
+    return QuantizationResult(
+        values=values, payload_bits=(bits + 1) * grad.size + 32
+    )

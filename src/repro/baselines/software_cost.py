@@ -1,0 +1,95 @@
+"""CPU-side cost model for *software* compression (paper Fig 7).
+
+Fig 7's argument: even the fastest software compressors slow training
+down overall, because (de)compression burns host CPU time comparable to
+— or exceeding — the communication time it saves.  Absolute software
+throughputs are machine-dependent; the defaults below are calibrated to
+the era's published figures (Snappy several hundred MB/s/core, SZ around
+a hundred, and the paper's observation that even "simple truncation ...
+significantly increases computation time" because packing/unpacking
+floats burdens the CPU; GPUs offer only ~50% more throughput [30]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class SoftwareCodec:
+    """Throughput/ratio profile of one software compression scheme."""
+
+    name: str
+    compress_bps: float  # bytes/second on the uncompressed side
+    decompress_bps: float
+    ratio: float  # typical compression ratio on fp32 gradients
+    lossless: bool
+
+    def compression_time(self, nbytes: int) -> float:
+        if nbytes < 0:
+            raise ValueError("nbytes cannot be negative")
+        return nbytes / self.compress_bps
+
+    def decompression_time(self, nbytes: int) -> float:
+        if nbytes < 0:
+            raise ValueError("nbytes cannot be negative")
+        return nbytes / self.decompress_bps
+
+    def roundtrip_time(self, nbytes: int) -> float:
+        return self.compression_time(nbytes) + self.decompression_time(nbytes)
+
+
+#: Calibrated software codecs for Fig 7.  Ratios for the lossy schemes
+#: match our measured values on gradient-shaped data; throughputs are
+#: era-typical single-core figures.
+SOFTWARE_CODECS: Dict[str, SoftwareCodec] = {
+    "snappy": SoftwareCodec(
+        name="snappy",
+        compress_bps=250e6,
+        decompress_bps=500e6,
+        ratio=1.5,
+        lossless=True,
+    ),
+    "sz": SoftwareCodec(
+        name="sz",
+        compress_bps=100e6,
+        decompress_bps=150e6,
+        ratio=5.0,
+        lossless=False,
+    ),
+    "truncation": SoftwareCodec(
+        name="truncation",
+        compress_bps=400e6,  # bit pack/unpack on the CPU
+        decompress_bps=400e6,
+        ratio=2.0,  # 16b-T
+        lossless=False,
+    ),
+}
+
+
+def software_training_time(
+    compute_s: float,
+    communicate_s: float,
+    gradient_nbytes: int,
+    codec: SoftwareCodec,
+) -> float:
+    """Per-iteration time with software compression in the loop.
+
+    Compression happens on the host before send, decompression after
+    receive; neither overlaps the GPU compute in the paper's framework,
+    so the software time adds to the iteration. Communication shrinks
+    by the codec's ratio (payload only — headers would remain, but at
+    software granularity the paper neglects them and so do we).
+    """
+    if compute_s < 0 or communicate_s < 0:
+        raise ValueError("times cannot be negative")
+    software = codec.roundtrip_time(gradient_nbytes)
+    return compute_s + communicate_s / codec.ratio + software
+
+
+def baseline_training_time(compute_s: float, communicate_s: float) -> float:
+    """Per-iteration time without any compression."""
+    if compute_s < 0 or communicate_s < 0:
+        raise ValueError("times cannot be negative")
+    return compute_s + communicate_s

@@ -1,0 +1,80 @@
+"""Deep Gradient Compression-style sparsification (related work [12]).
+
+DGC (Lin et al., ICLR'18) skips communicating small gradients: each
+worker accumulates gradients locally and only transmits coordinates
+whose accumulated magnitude clears a top-k threshold, with momentum
+correction.  It is *complementary* to INCEPTIONN (the paper says so);
+this implementation lets the benches measure its ratio/accuracy point
+on the same traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class SparsificationResult:
+    """Sparse update: transmitted values with everything else zero."""
+
+    values: np.ndarray
+    transmitted: int  # number of coordinates actually sent
+
+    @property
+    def density(self) -> float:
+        return self.transmitted / self.values.size if self.values.size else 0.0
+
+    @property
+    def payload_bits(self) -> int:
+        # index (32b) + value (32b) per transmitted coordinate.
+        return self.transmitted * 64
+
+    @property
+    def compression_ratio(self) -> float:
+        original = self.values.size * 32
+        return original / self.payload_bits if self.payload_bits else float("inf")
+
+
+class DeepGradientCompression:
+    """Top-k sparsification with local gradient accumulation.
+
+    ``sparsity`` is the fraction of coordinates *dropped* each round
+    (0.99 means send the top 1%).  Dropped mass is accumulated locally
+    and eventually clears the threshold — no gradient is lost, only
+    delayed.
+    """
+
+    def __init__(self, sparsity: float = 0.99) -> None:
+        if not 0.0 <= sparsity < 1.0:
+            raise ValueError(f"sparsity must be in [0, 1), got {sparsity}")
+        self.sparsity = sparsity
+        self._accumulated: Optional[np.ndarray] = None
+
+    def sparsify(self, gradient: np.ndarray) -> SparsificationResult:
+        grad = np.ascontiguousarray(gradient, dtype=np.float32).reshape(-1)
+        if self._accumulated is not None and self._accumulated.shape == grad.shape:
+            grad = grad + self._accumulated
+        k = max(1, int(round(grad.size * (1.0 - self.sparsity))))
+        if k >= grad.size:
+            self._accumulated = np.zeros_like(grad)
+            return SparsificationResult(values=grad.copy(), transmitted=grad.size)
+        magnitudes = np.abs(grad)
+        threshold = np.partition(magnitudes, grad.size - k)[grad.size - k]
+        mask = magnitudes >= threshold
+        # Ties can push the count above k; that is fine (send them all).
+        values = np.where(mask, grad, 0.0).astype(np.float32)
+        self._accumulated = np.where(mask, 0.0, grad).astype(np.float32)
+        return SparsificationResult(values=values, transmitted=int(mask.sum()))
+
+    @property
+    def pending_nbytes(self) -> int:
+        """Bytes of gradient mass currently held back locally."""
+        if self._accumulated is None:
+            return 0
+        return int(np.count_nonzero(self._accumulated)) * 4
+
+    def reset(self) -> None:
+        self._accumulated = None

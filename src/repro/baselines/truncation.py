@@ -1,0 +1,61 @@
+"""Floating-point LSB truncation (the paper's ``xb-T`` baseline).
+
+Fig 4 / Fig 14 compare INCEPTIONN's codec against simply dropping the
+least-significant ``x`` bits of every IEEE-754 word: a fixed 32/(32-x)
+compression ratio with uncontrolled, open-ended error — dropping 24 bits
+eats into the exponent and wrecks complex models, which is precisely the
+motivation for the error-bounded codec.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Truncation widths evaluated in the paper.
+PAPER_TRUNCATIONS = (16, 22, 24)
+
+
+def truncate_lsbs(values: np.ndarray, bits: int) -> np.ndarray:
+    """Zero the low ``bits`` bits of each float32's bit pattern."""
+    if not 0 <= bits < 32:
+        raise ValueError(f"truncation bits must be in [0, 32), got {bits}")
+    arr = np.ascontiguousarray(values, dtype=np.float32)
+    if bits == 0:
+        return arr.copy()
+    raw = arr.view(np.uint32)
+    mask = np.uint32(0xFFFFFFFF << bits & 0xFFFFFFFF)
+    return (raw & mask).view(np.float32).copy()
+
+
+def truncation_ratio(bits: int) -> float:
+    """Fixed compression ratio of ``bits``-LSB truncation."""
+    if not 0 <= bits < 32:
+        raise ValueError(f"truncation bits must be in [0, 32), got {bits}")
+    return 32.0 / (32 - bits)
+
+
+def truncation_max_error(values: np.ndarray, bits: int) -> float:
+    """Observed max absolute error of truncating the given values."""
+    arr = np.asarray(values, dtype=np.float32)
+    out = truncate_lsbs(arr, bits)
+    finite = np.isfinite(arr)
+    if not finite.any():
+        return 0.0
+    return float(np.max(np.abs(arr[finite] - out[finite])))
+
+
+def make_truncation_hook(bits: int, target: str = "gradient"):
+    """A ``gradient_hook`` for :func:`repro.dnn.train_single_node`.
+
+    ``target`` selects what Fig 4 truncates: ``"gradient"`` perturbs g
+    before the update; weight truncation is applied by the caller after
+    each update (see the Fig 4 bench).
+    """
+    if target != "gradient":
+        raise ValueError("hooks only truncate gradients; truncate weights "
+                         "explicitly after each update")
+
+    def hook(iteration: int, grad: np.ndarray) -> np.ndarray:
+        return truncate_lsbs(grad, bits)
+
+    return hook

@@ -1,0 +1,170 @@
+"""Command-line interface: ``repro <subcommand>``.
+
+Subcommands
+-----------
+``compress``    compress a ``.npy`` (or raw float32) file to ``.incgrad``
+``decompress``  reconstruct a ``.incgrad`` file back to ``.npy``
+``stats``       Table III-style bitwidth/ratio report for a gradient file
+``simulate``    per-iteration time of a Fig 12 configuration at paper scale
+``train``       run the simulated-cluster training demo
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+
+def _load_floats(path: Path) -> np.ndarray:
+    if path.suffix == ".npy":
+        return np.load(path).astype(np.float32).reshape(-1)
+    data = path.read_bytes()
+    if len(data) % 4:
+        raise SystemExit(f"{path}: raw input must be whole float32 words")
+    return np.frombuffer(data, dtype=np.float32).copy()
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    from repro.core import ErrorBound
+    from repro.core.gradient_file import save
+
+    values = _load_floats(Path(args.input))
+    written = save(args.output, values, ErrorBound(args.bound))
+    ratio = values.nbytes / written if written else float("inf")
+    print(
+        f"{args.input}: {values.size} values, {values.nbytes} -> {written} "
+        f"bytes ({ratio:.2f}x) at bound 2^-{args.bound}"
+    )
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    from repro.core.gradient_file import load
+
+    values = load(args.input)
+    np.save(args.output, values)
+    print(f"{args.input}: restored {values.size} values -> {args.output}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.core import ErrorBound, bitwidth_distribution, compression_ratio
+
+    values = _load_floats(Path(args.input))
+    for exponent in args.bounds:
+        bound = ErrorBound(exponent)
+        dist = bitwidth_distribution(values, bound)
+        ratio = compression_ratio(values, bound)
+        row = "  ".join(
+            f"{label}={100 * frac:5.1f}%" for label, frac in dist.as_row.items()
+        )
+        print(f"2^-{exponent}: ratio {ratio:5.2f}x  {row}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.perfmodel import estimate_iteration_time
+
+    est = estimate_iteration_time(
+        args.model,
+        args.configuration,
+        num_workers=args.workers,
+        bandwidth_bps=args.gbps * 1e9,
+    )
+    print(
+        f"{args.model} / {args.configuration} on {args.workers} workers "
+        f"@ {args.gbps:g} Gb/s:"
+    )
+    print(f"  iteration      {est.iteration_s * 1e3:10.2f} ms")
+    print(f"  computation    {est.computation_s * 1e3:10.2f} ms")
+    print(f"  communication  {est.communication_s * 1e3:10.2f} ms")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.distributed import train_distributed
+    from repro.dnn import LRSchedule, SGD, build_hdc, hdc_dataset
+    from repro.transport import ClusterConfig
+
+    num_nodes = args.workers + 1 if args.algorithm == "wa" else args.workers
+    result = train_distributed(
+        algorithm=args.algorithm,
+        build_net=lambda s: build_hdc(seed=s),
+        make_optimizer=lambda: SGD(LRSchedule(args.lr), momentum=0.9),
+        dataset=hdc_dataset(train_size=600, test_size=150, seed=args.seed),
+        num_workers=args.workers,
+        iterations=args.iterations,
+        batch_size=args.batch_size,
+        cluster=ClusterConfig(num_nodes=num_nodes, compression=args.compress),
+        compress_gradients=args.compress,
+        seed=args.seed,
+    )
+    print(
+        f"{args.algorithm}{'+C' if args.compress else ''} x{args.workers}: "
+        f"loss {result.losses[0]:.3f} -> {result.losses[-1]:.3f}, "
+        f"top-1 {result.final_top1:.3f}, "
+        f"simulated {result.virtual_time_s:.3f} s "
+        f"({100 * result.communication_fraction:.0f}% communication)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="INCEPTIONN reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compress", help="compress floats to .incgrad")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.add_argument("--bound", type=int, default=10, help="error bound 2^-B")
+    p.set_defaults(func=_cmd_compress)
+
+    p = sub.add_parser("decompress", help="restore a .incgrad to .npy")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.set_defaults(func=_cmd_decompress)
+
+    p = sub.add_parser("stats", help="bitwidth/ratio report")
+    p.add_argument("input")
+    p.add_argument(
+        "--bounds", type=int, nargs="+", default=[10, 8, 6], metavar="B"
+    )
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("simulate", help="paper-scale iteration time")
+    p.add_argument("--model", default="AlexNet")
+    p.add_argument(
+        "--configuration",
+        default="INC+C",
+        choices=("WA", "WA+C", "INC", "INC+C"),
+    )
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--gbps", type=float, default=10.0)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("train", help="simulated-cluster training demo")
+    p.add_argument("--algorithm", default="ring", choices=("ring", "wa"))
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--iterations", type=int, default=40)
+    p.add_argument("--batch-size", type=int, default=25)
+    p.add_argument("--lr", type=float, default=0.02)
+    p.add_argument("--compress", action="store_true")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_train)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""INCEPTIONN's primary contribution: the lossy FP32 gradient codec.
+
+Public surface:
+
+- :class:`ErrorBound` and the paper's :data:`PAPER_BOUNDS`.
+- :func:`compress` / :func:`decompress` — vectorized codec.
+- :class:`CompressedGradients` — unpacked + wire representations.
+- :mod:`repro.core.reference` — the bit-exact scalar specification.
+- Statistics helpers reproducing Table III / Fig 14 metrics.
+"""
+
+from .bounds import DEFAULT_BOUND, ErrorBound, PAPER_BOUNDS
+from .codec import classify, compress, compressed_nbits, decompress, roundtrip
+from .container import CompressedGradients, GROUP_SIZE
+from .error_feedback import ErrorFeedbackCompressor, feedback_hook
+from . import gradient_file
+from .stats import (
+    BitwidthDistribution,
+    average_compression_ratio,
+    bitwidth_distribution,
+    compression_ratio,
+    max_abs_error,
+    value_histogram,
+)
+from .tags import (
+    ENCODED_BITS,
+    PAYLOAD_BITS,
+    TAG_BIT8,
+    TAG_BIT16,
+    TAG_NAMES,
+    TAG_NO_COMPRESS,
+    TAG_ZERO,
+)
+
+__all__ = [
+    "DEFAULT_BOUND",
+    "ErrorBound",
+    "PAPER_BOUNDS",
+    "classify",
+    "compress",
+    "compressed_nbits",
+    "decompress",
+    "roundtrip",
+    "CompressedGradients",
+    "GROUP_SIZE",
+    "ErrorFeedbackCompressor",
+    "feedback_hook",
+    "gradient_file",
+    "BitwidthDistribution",
+    "average_compression_ratio",
+    "bitwidth_distribution",
+    "compression_ratio",
+    "max_abs_error",
+    "value_histogram",
+    "ENCODED_BITS",
+    "PAYLOAD_BITS",
+    "TAG_BIT8",
+    "TAG_BIT16",
+    "TAG_NAMES",
+    "TAG_NO_COMPRESS",
+    "TAG_ZERO",
+]

@@ -1,0 +1,89 @@
+"""Little-endian bit packing used by the codec's wire format.
+
+The hardware Compression Unit emits, per 256-bit input burst (8 floats),
+a 16-bit tag vector followed by the concatenated variable-size payloads
+(paper Fig 9: "the aligned bit vector and tag bit vector are concatenated
+as the final output ... at least 16 bits and can go up to 272 bits").
+This module provides the bit-level writer/reader those group records are
+built from.
+
+Convention: bits are appended LSB-first into a growing little-endian
+integer stream, i.e. the first field written occupies the lowest bit
+positions of the first byte.  Both the software codec and the hardware
+engine models share this convention so their bitstreams are comparable
+byte-for-byte.
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Accumulates variable-width bit fields into a byte string."""
+
+    def __init__(self) -> None:
+        self._acc = 0
+        self._nbits = 0
+        self._chunks = bytearray()
+
+    def write(self, value: int, nbits: int) -> None:
+        """Append the low ``nbits`` of ``value`` to the stream."""
+        if nbits < 0:
+            raise ValueError("nbits must be non-negative")
+        if nbits == 0:
+            return
+        self._acc |= (value & ((1 << nbits) - 1)) << self._nbits
+        self._nbits += nbits
+        while self._nbits >= 8:
+            self._chunks.append(self._acc & 0xFF)
+            self._acc >>= 8
+            self._nbits -= 8
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written so far."""
+        return len(self._chunks) * 8 + self._nbits
+
+    def getvalue(self) -> bytes:
+        """Return the stream, zero-padding the final partial byte."""
+        out = bytearray(self._chunks)
+        if self._nbits:
+            out.append(self._acc & 0xFF)
+        return bytes(out)
+
+
+class BitReader:
+    """Reads variable-width bit fields written by :class:`BitWriter`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0  # absolute bit position
+
+    def read(self, nbits: int) -> int:
+        """Consume and return the next ``nbits`` as an unsigned int."""
+        if nbits < 0:
+            raise ValueError("nbits must be non-negative")
+        if nbits == 0:
+            return 0
+        end = self._pos + nbits
+        if end > len(self._data) * 8:
+            raise EOFError(
+                f"bitstream exhausted: need {nbits} bits at position "
+                f"{self._pos}, stream holds {len(self._data) * 8}"
+            )
+        value = 0
+        got = 0
+        pos = self._pos
+        while got < nbits:
+            byte = self._data[pos >> 3]
+            bit_off = pos & 7
+            take = min(8 - bit_off, nbits - got)
+            value |= ((byte >> bit_off) & ((1 << take) - 1)) << got
+            got += take
+            pos += take
+        self._pos = end
+        return value
+
+    @property
+    def bits_remaining(self) -> int:
+        """Bits left in the underlying buffer (including any padding)."""
+        return len(self._data) * 8 - self._pos

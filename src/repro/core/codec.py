@@ -1,0 +1,113 @@
+"""Vectorized NumPy implementation of the INCEPTIONN gradient codec.
+
+This is the production codec: it compresses/decompresses whole gradient
+vectors with array operations and is validated element-for-element
+against the scalar reference in :mod:`repro.core.reference`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bounds import ErrorBound, FLOAT32_EXP_BIAS
+from .container import CompressedGradients
+from .tags import TAG_BIT8, TAG_BIT16, TAG_NO_COMPRESS, TAG_ZERO
+
+_MANTISSA_BITS = 23
+_IMPLICIT_ONE = np.uint32(1 << _MANTISSA_BITS)
+
+
+def _as_float32_vector(values: np.ndarray) -> np.ndarray:
+    arr = np.ascontiguousarray(values, dtype=np.float32)
+    if arr.ndim != 1:
+        arr = arr.reshape(-1)
+    return arr
+
+
+def classify(values: np.ndarray, bound: ErrorBound) -> np.ndarray:
+    """Return the 2-bit tag for every value (vectorized Algorithm 2 head)."""
+    bits = _as_float32_vector(values).view(np.uint32)
+    exponent = (bits >> np.uint32(23)) & np.uint32(0xFF)
+    tags = np.full(bits.shape, TAG_BIT16, dtype=np.uint8)
+    tags[exponent < bound.bit8_exponent_threshold] = TAG_BIT8
+    tags[exponent < bound.zero_exponent_threshold] = TAG_ZERO
+    # NO_COMPRESS has highest precedence: with relaxed bounds (b < 7) the
+    # BIT8 exponent threshold exceeds 127 and would otherwise swallow it.
+    tags[exponent >= FLOAT32_EXP_BIAS] = TAG_NO_COMPRESS
+    return tags
+
+
+def compress(values: np.ndarray, bound: ErrorBound) -> CompressedGradients:
+    """Compress a float32 vector under the given error bound."""
+    flat = _as_float32_vector(values)
+    bits = flat.view(np.uint32)
+    sign = bits >> np.uint32(31)
+    exponent = ((bits >> np.uint32(23)) & np.uint32(0xFF)).astype(np.int32)
+    significand = (bits & np.uint32(0x7FFFFF)) | _IMPLICIT_ONE
+
+    tags = classify(flat, bound)
+    payloads = np.zeros(bits.shape, dtype=np.uint32)
+
+    mask = tags == TAG_NO_COMPRESS
+    payloads[mask] = bits[mask]
+
+    mask = tags == TAG_BIT8
+    if mask.any():
+        shift = (
+            (FLOAT32_EXP_BIAS + _MANTISSA_BITS) - bound.exponent - exponent[mask]
+        ).astype(np.uint32)
+        q = significand[mask] >> shift
+        payloads[mask] = (sign[mask] << np.uint32(7)) | q
+
+    mask = tags == TAG_BIT16
+    if mask.any():
+        shift = ((FLOAT32_EXP_BIAS + _MANTISSA_BITS) - 15 - exponent[mask]).astype(
+            np.uint32
+        )
+        q = significand[mask] >> shift
+        payloads[mask] = (sign[mask] << np.uint32(15)) | q
+
+    return CompressedGradients(tags=tags, payloads=payloads, bound=bound)
+
+
+def decompress(compressed: CompressedGradients) -> np.ndarray:
+    """Decompress back to a float32 vector (vectorized Algorithm 3)."""
+    tags = compressed.tags
+    payloads = compressed.payloads
+    bound = compressed.bound
+    out = np.zeros(tags.shape, dtype=np.float32)
+
+    mask = tags == TAG_NO_COMPRESS
+    if mask.any():
+        out[mask] = payloads[mask].view(np.float32)
+
+    mask = tags == TAG_BIT8
+    if mask.any():
+        p = payloads[mask]
+        magnitude = (p & np.uint32(0x7F)).astype(np.float32) * np.float32(
+            bound.bit8_scale
+        )
+        out[mask] = np.where(p & np.uint32(0x80), -magnitude, magnitude)
+
+    mask = tags == TAG_BIT16
+    if mask.any():
+        p = payloads[mask]
+        magnitude = (p & np.uint32(0x7FFF)).astype(np.float32) * np.float32(2.0**-15)
+        out[mask] = np.where(p & np.uint32(0x8000), -magnitude, magnitude)
+
+    return out
+
+
+def roundtrip(values: np.ndarray, bound: ErrorBound) -> np.ndarray:
+    """Compress then decompress, preserving the input's shape."""
+    arr = np.asarray(values, dtype=np.float32)
+    return decompress(compress(arr, bound)).reshape(arr.shape)
+
+
+def compressed_nbits(values: np.ndarray, bound: ErrorBound) -> int:
+    """Wire-format size in bits without materializing payloads."""
+    tags = classify(values, bound)
+    dummy = CompressedGradients(
+        tags=tags, payloads=np.zeros(tags.shape, dtype=np.uint32), bound=bound
+    )
+    return dummy.compressed_bits

@@ -1,0 +1,129 @@
+"""In-memory and wire representations of compressed gradient vectors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bitstream import BitReader, BitWriter
+from .bounds import ErrorBound
+from .tags import PAYLOAD_BITS, PAYLOAD_BITS_LUT
+
+#: Floats carried per hardware burst; also the wire-format group size.
+GROUP_SIZE = 8
+#: Bits of tag metadata per group (8 tags x 2 bits).
+GROUP_TAG_BITS = 2 * GROUP_SIZE
+
+
+@dataclass
+class CompressedGradients:
+    """A compressed gradient vector.
+
+    The canonical in-memory form keeps the per-value 2-bit ``tags`` and
+    right-aligned ``payloads`` unpacked (one uint32 lane per value) so
+    that decompression and statistics stay vectorized.  ``to_bytes``
+    produces the exact wire format the NIC hardware emits: per group of
+    8 values, a 16-bit tag vector followed by the concatenated payloads.
+
+    Attributes
+    ----------
+    tags:
+        ``uint8`` array of 2-bit tag values, one per input float.
+    payloads:
+        ``uint32`` array of right-aligned payloads (0/8/16/32 significant
+        bits according to the tag).
+    bound:
+        The error bound the vector was compressed under; required to
+        decode the BIT8 class scale.
+    """
+
+    tags: np.ndarray
+    payloads: np.ndarray
+    bound: ErrorBound
+
+    def __post_init__(self) -> None:
+        if self.tags.shape != self.payloads.shape:
+            raise ValueError("tags and payloads must have identical shapes")
+        if self.tags.ndim != 1:
+            raise ValueError("compressed vectors are one-dimensional")
+
+    def __len__(self) -> int:
+        return int(self.tags.shape[0])
+
+    @property
+    def num_values(self) -> int:
+        """Number of float32 values represented."""
+        return len(self)
+
+    @property
+    def payload_bits(self) -> int:
+        """Total payload bits across all values (excludes tags)."""
+        return int(PAYLOAD_BITS_LUT[self.tags].astype(np.int64).sum())
+
+    @property
+    def compressed_bits(self) -> int:
+        """Exact wire-format size in bits (tags + payloads)."""
+        num_groups = -(-len(self) // GROUP_SIZE)
+        return num_groups * GROUP_TAG_BITS + self.payload_bits
+
+    @property
+    def compressed_nbytes(self) -> int:
+        """Wire-format size rounded up to whole bytes."""
+        return -(-self.compressed_bits // 8)
+
+    @property
+    def original_nbytes(self) -> int:
+        """Size of the uncompressed float32 vector."""
+        return len(self) * 4
+
+    @property
+    def compression_ratio(self) -> float:
+        """Original bits over compressed bits (paper Fig 14 metric)."""
+        if len(self) == 0:
+            return 1.0
+        return (len(self) * 32) / self.compressed_bits
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the hardware wire format.
+
+        Per 8-value group: a 16-bit tag vector with value *i*'s tag at
+        bits ``[2i+1 : 2i]``, then the payloads of values 0..7
+        back-to-back, LSB first.  A final partial group is padded with
+        ZERO tags, which carry no payload; the decoder relies on the
+        caller knowing ``num_values``.
+        """
+        writer = BitWriter()
+        tags = self.tags
+        payloads = self.payloads
+        n = len(self)
+        for start in range(0, n, GROUP_SIZE):
+            group_tags = tags[start : start + GROUP_SIZE]
+            tag_word = 0
+            for lane, tag in enumerate(group_tags):
+                tag_word |= (int(tag) & 0b11) << (2 * lane)
+            writer.write(tag_word, GROUP_TAG_BITS)
+            for lane, tag in enumerate(group_tags):
+                nbits = PAYLOAD_BITS[int(tag)]
+                if nbits:
+                    writer.write(int(payloads[start + lane]), nbits)
+        return writer.getvalue()
+
+    @classmethod
+    def from_bytes(
+        cls, data: bytes, num_values: int, bound: ErrorBound
+    ) -> "CompressedGradients":
+        """Parse the wire format back into the unpacked form."""
+        reader = BitReader(data)
+        tags = np.empty(num_values, dtype=np.uint8)
+        payloads = np.zeros(num_values, dtype=np.uint32)
+        for start in range(0, num_values, GROUP_SIZE):
+            tag_word = reader.read(GROUP_TAG_BITS)
+            lanes = min(GROUP_SIZE, num_values - start)
+            group_tags = [(tag_word >> (2 * lane)) & 0b11 for lane in range(lanes)]
+            for lane, tag in enumerate(group_tags):
+                tags[start + lane] = tag
+                nbits = PAYLOAD_BITS[tag]
+                if nbits:
+                    payloads[start + lane] = reader.read(nbits)
+        return cls(tags=tags, payloads=payloads, bound=bound)

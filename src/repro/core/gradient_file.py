@@ -1,0 +1,79 @@
+"""On-disk container for compressed gradient vectors (``.incgrad``).
+
+Checkpointing and trace-sharing need a durable form of the wire format.
+The layout is a fixed little-endian header followed by the codec's
+bitstream:
+
+======  ====  =====================================
+offset  size  field
+======  ====  =====================================
+0       8     magic ``b"INCGRAD1"``
+8       1     error-bound exponent ``b`` (2^-b)
+9       3     reserved (zero)
+12      8     number of float32 values (uint64)
+20      8     bitstream length in bytes (uint64)
+28      --    bitstream (see ``CompressedGradients.to_bytes``)
+======  ====  =====================================
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .bounds import ErrorBound
+from .codec import compress, decompress
+from .container import CompressedGradients
+
+MAGIC = b"INCGRAD1"
+_HEADER = struct.Struct("<8sB3xQQ")
+
+
+class GradientFileError(ValueError):
+    """Raised for malformed ``.incgrad`` data."""
+
+
+def dump_bytes(compressed: CompressedGradients) -> bytes:
+    """Serialize a compressed vector to the file format."""
+    stream = compressed.to_bytes()
+    header = _HEADER.pack(
+        MAGIC, compressed.bound.exponent, len(compressed), len(stream)
+    )
+    return header + stream
+
+
+def load_bytes(blob: bytes) -> CompressedGradients:
+    """Parse file-format bytes back into a compressed vector."""
+    if len(blob) < _HEADER.size:
+        raise GradientFileError("data shorter than the header")
+    magic, exponent, num_values, stream_len = _HEADER.unpack_from(blob)
+    if magic != MAGIC:
+        raise GradientFileError(f"bad magic {magic!r}")
+    try:
+        bound = ErrorBound(exponent)
+    except ValueError as exc:
+        raise GradientFileError(str(exc)) from exc
+    stream = blob[_HEADER.size :]
+    if len(stream) != stream_len:
+        raise GradientFileError(
+            f"stream length {len(stream)} != header's {stream_len}"
+        )
+    try:
+        return CompressedGradients.from_bytes(stream, num_values, bound)
+    except EOFError as exc:
+        raise GradientFileError("truncated bitstream") from exc
+
+
+def save(path: Union[str, Path], values: np.ndarray, bound: ErrorBound) -> int:
+    """Compress ``values`` and write them to ``path``; returns bytes written."""
+    blob = dump_bytes(compress(np.asarray(values, dtype=np.float32).reshape(-1), bound))
+    Path(path).write_bytes(blob)
+    return len(blob)
+
+
+def load(path: Union[str, Path]) -> np.ndarray:
+    """Read a ``.incgrad`` file and return the reconstructed float32 vector."""
+    return decompress(load_bytes(Path(path).read_bytes()))

@@ -1,0 +1,40 @@
+"""Compression-class tags shared by the software codec and hardware model.
+
+The 2-bit tag values follow the paper's Algorithm 2: ``NO_COMPRESS`` is
+explicitly given as ``2'b11``; the remaining assignments are ordered by
+payload size, which also makes the payload bit-count a simple lookup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: ``|f| < 2^-b`` — value dropped entirely, decodes to 0.0.
+TAG_ZERO = 0b00
+#: sign + 7-bit fixed-point magnitude at scale ``2^-b``.
+TAG_BIT8 = 0b01
+#: sign + 15-bit fixed-point magnitude at scale ``2^-15``.
+TAG_BIT16 = 0b10
+#: ``|f| >= 1.0`` (incl. inf/NaN) — raw IEEE-754 bits pass through.
+TAG_NO_COMPRESS = 0b11
+
+#: Payload size in bits for each tag value (indexed by tag).
+PAYLOAD_BITS = (0, 8, 16, 32)
+
+#: Payload + tag size in bits for each tag value (Table III's 2/10/18/34).
+ENCODED_BITS = tuple(2 + bits for bits in PAYLOAD_BITS)
+
+#: Numpy lookup table for vectorized payload sizing.
+PAYLOAD_BITS_LUT = np.array(PAYLOAD_BITS, dtype=np.uint8)
+
+TAG_NAMES = {
+    TAG_ZERO: "ZERO",
+    TAG_BIT8: "BIT8",
+    TAG_BIT16: "BIT16",
+    TAG_NO_COMPRESS: "NO_COMPRESS",
+}
+
+
+def payload_bits(tag: int) -> int:
+    """Payload size in bits for a single 2-bit tag."""
+    return PAYLOAD_BITS[tag & 0b11]

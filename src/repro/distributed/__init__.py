@@ -1,0 +1,36 @@
+"""Distributed training algorithms: INCEPTIONN ring + WA baseline."""
+
+from .cluster import (
+    DistributedRunResult,
+    PHASE_NAMES,
+    train_distributed,
+)
+from .async_ps import AsyncRunResult, train_async_ps
+from .hierarchy import GroupLayout, hierarchical_exchange, train_hierarchical
+from .node import (
+    ComputeProfile,
+    ZERO_COMPUTE,
+    concatenate_blocks,
+    partition_blocks,
+)
+from .ring import ring_exchange, ring_exchange_sizes
+from .worker_aggregator import aggregator_exchange, worker_exchange
+
+__all__ = [
+    "DistributedRunResult",
+    "PHASE_NAMES",
+    "train_distributed",
+    "AsyncRunResult",
+    "train_async_ps",
+    "GroupLayout",
+    "hierarchical_exchange",
+    "train_hierarchical",
+    "ComputeProfile",
+    "ZERO_COMPUTE",
+    "concatenate_blocks",
+    "partition_blocks",
+    "ring_exchange",
+    "ring_exchange_sizes",
+    "aggregator_exchange",
+    "worker_exchange",
+]

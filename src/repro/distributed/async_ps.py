@@ -1,0 +1,177 @@
+"""Asynchronous parameter server (HogWild!/SSP-style related work).
+
+The paper's Sec. IX discusses asynchronous worker-aggregator systems
+(HogWild! [80], DistBelief [1], SSP [81]) that trade gradient staleness
+for reduced synchronization.  This module implements that family over
+the same simulated cluster so the benches can compare it against the
+synchronous WA baseline and the INCEPTIONN ring:
+
+* the server applies each arriving gradient immediately and replies
+  with the freshest weights (no global barrier);
+* an optional SSP-style ``max_staleness`` bound blocks a worker whose
+  iteration count runs more than ``s`` ahead of the slowest worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.dnn.data import Dataset
+from repro.dnn.network import Sequential
+from repro.dnn.optim import SGD
+from repro.dnn.training import LocalTrainer
+from repro.transport.endpoint import ClusterComm, ClusterConfig
+
+from .node import ComputeProfile, ZERO_COMPUTE
+
+
+@dataclass
+class AsyncRunResult:
+    """Outcome of an asynchronous parameter-server run."""
+
+    num_workers: int
+    iterations_per_worker: int
+    final_top1: float
+    final_top5: float
+    virtual_time_s: float
+    #: Staleness (server updates between a worker's pull and its push)
+    #: observed for every applied gradient.
+    staleness: List[int] = field(default_factory=list)
+    losses: List[float] = field(default_factory=list)
+
+    @property
+    def mean_staleness(self) -> float:
+        return float(np.mean(self.staleness)) if self.staleness else 0.0
+
+    @property
+    def max_observed_staleness(self) -> int:
+        return max(self.staleness) if self.staleness else 0
+
+
+def train_async_ps(
+    build_net: Callable[[int], Sequential],
+    make_optimizer: Callable[[], SGD],
+    dataset: Dataset,
+    num_workers: int,
+    iterations_per_worker: int,
+    batch_size: int,
+    cluster: Optional[ClusterConfig] = None,
+    profile: ComputeProfile = ZERO_COMPUTE,
+    compress_gradients: bool = False,
+    max_staleness: Optional[int] = None,
+    compute_jitter: float = 0.0,
+    seed: int = 0,
+) -> AsyncRunResult:
+    """Asynchronous training: workers push g, server replies with w.
+
+    ``compute_jitter`` adds a uniform(+/- fraction) perturbation to each
+    worker's compute time so workers actually drift (the phenomenon
+    async systems exist to exploit).  ``max_staleness`` enables the SSP
+    bound; ``None`` is fully asynchronous (HogWild-style, but with the
+    server serializing updates — the simulated cluster has no shared
+    memory to race on).
+    """
+    if num_workers < 2:
+        raise ValueError("need at least two workers")
+    if iterations_per_worker < 1:
+        raise ValueError("need at least one iteration")
+    server_id = num_workers
+    config = cluster or ClusterConfig(num_nodes=num_workers + 1)
+    if config.num_nodes != num_workers + 1:
+        raise ValueError("cluster config must have num_workers + 1 nodes")
+    comm = ClusterComm(config)
+    comm.endpoints[server_id].promiscuous = True
+
+    server_net = build_net(seed)
+    server_opt = make_optimizer()
+
+    trainers = [
+        LocalTrainer(
+            net=build_net(seed),
+            optimizer=make_optimizer(),
+            dataset=dataset.shard(i, num_workers),
+            batch_size=batch_size,
+            seed=seed + 1000 * i,
+        )
+        for i in range(num_workers)
+    ]
+
+    result = AsyncRunResult(
+        num_workers=num_workers,
+        iterations_per_worker=iterations_per_worker,
+        final_top1=0.0,
+        final_top5=0.0,
+        virtual_time_s=0.0,
+    )
+    server_version = [0]  # updates applied so far
+    worker_pull_version = [0] * num_workers  # version each worker last saw
+    worker_progress = [0] * num_workers
+    staleness_waiters: List = []  # (worker, needed_min_progress, event)
+    jitter_rng = np.random.default_rng(seed + 77)
+
+    def min_progress() -> int:
+        return min(worker_progress)
+
+    def wake_waiters() -> None:
+        still = []
+        for worker, needed, event in staleness_waiters:
+            if min_progress() >= needed:
+                event.succeed()
+            else:
+                still.append((worker, needed, event))
+        staleness_waiters[:] = still
+
+    def worker(i: int):
+        ep = comm.endpoints[i]
+        trainer = trainers[i]
+        for iteration in range(iterations_per_worker):
+            if max_staleness is not None:
+                needed = iteration - max_staleness
+                if needed > min_progress():
+                    gate = comm.sim.event()
+                    staleness_waiters.append((i, needed, gate))
+                    yield gate
+            compute = profile.local_compute_s
+            if compute and compute_jitter:
+                compute *= 1.0 + compute_jitter * (2 * jitter_rng.random() - 1)
+            if compute:
+                yield comm.sim.timeout(compute)
+            loss, grad = trainer.local_gradient()
+            result.losses.append(loss)
+            ep.isend(server_id, grad, compressible=compress_gradients)
+            weights = yield ep.recv(server_id)
+            trainer.net.set_parameter_vector(weights)
+            worker_progress[i] = iteration + 1
+            wake_waiters()
+
+    def server():
+        ep = comm.endpoints[server_id]
+        total_updates = num_workers * iterations_per_worker
+        for _ in range(total_updates):
+            src, grad = yield ep.recv_any()
+            if profile.sum_bandwidth_bps:
+                yield comm.sim.timeout(profile.sum_time(grad.nbytes))
+            result.staleness.append(
+                server_version[0] - worker_pull_version[src]
+            )
+            server_opt.step_with_vector(server_net, grad)
+            server_version[0] += 1
+            if profile.update_s:
+                yield comm.sim.timeout(profile.update_s)
+            worker_pull_version[src] = server_version[0]
+            ep.isend(src, server_net.parameter_vector())
+
+    for i in range(num_workers):
+        comm.sim.process(worker(i))
+    comm.sim.process(server())
+    result.virtual_time_s = comm.run()
+
+    logits = server_net.predict(dataset.test_x)
+    from repro.dnn.metrics import top1_accuracy, top5_accuracy
+
+    result.final_top1 = top1_accuracy(logits, dataset.test_y)
+    result.final_top5 = top5_accuracy(logits, dataset.test_y)
+    return result

@@ -1,0 +1,211 @@
+"""Hierarchical composition of the gradient-centric algorithm (Fig 1c).
+
+The worker group is the paper's building block; at scale, groups compose
+hierarchically.  This module implements the two-level variant: each leaf
+group ring-aggregates its members' gradients, the group leaders form a
+second-level ring over the group-aggregated gradients, and leaders then
+broadcast the global aggregate back into their groups.  Every leg is a
+*gradient* leg, so everything stays compressible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.transport.endpoint import ClusterComm
+
+from .node import ComputeProfile
+from .ring import ring_exchange
+
+
+@dataclass(frozen=True)
+class GroupLayout:
+    """Partition of cluster nodes into equal leaf groups."""
+
+    groups: "tuple[tuple[int, ...], ...]"
+
+    @classmethod
+    def even(cls, num_nodes: int, group_size: int) -> "GroupLayout":
+        if group_size < 2:
+            raise ValueError("groups need at least two members")
+        if num_nodes % group_size:
+            raise ValueError(
+                f"{num_nodes} nodes do not divide into groups of {group_size}"
+            )
+        groups = tuple(
+            tuple(range(start, start + group_size))
+            for start in range(0, num_nodes, group_size)
+        )
+        return cls(groups=groups)
+
+    @property
+    def leaders(self) -> "tuple[int, ...]":
+        """First member of each group participates in the upper ring."""
+        return tuple(group[0] for group in self.groups)
+
+    def group_of(self, node: int) -> "tuple[int, ...]":
+        for group in self.groups:
+            if node in group:
+                return group
+        raise ValueError(f"node {node} not in any group")
+
+
+class _ScopedEndpoint:
+    """Endpoint view that renumbers a node subset as a 0..k-1 ring.
+
+    ``ring_exchange`` expects ring-local ranks; this adapter maps them
+    onto the global node ids of a group (or the leader set).
+    """
+
+    def __init__(self, comm: ClusterComm, members: Sequence[int], node: int):
+        self._inner = comm.endpoints[node]
+        self._members = list(members)
+        self.comm = comm
+        self.node_id = self._members.index(node)
+
+    def isend(self, dst: int, array: np.ndarray, compressible: bool = False):
+        return self._inner.isend(
+            self._members[dst], array, compressible=compressible
+        )
+
+    def recv(self, src: int):
+        return self._inner.recv(self._members[src])
+
+
+def hierarchical_exchange(
+    comm: ClusterComm,
+    node: int,
+    vector: np.ndarray,
+    layout: GroupLayout,
+    compressible: bool = False,
+    profile: "ComputeProfile | None" = None,
+):
+    """Two-level gradient exchange for one node; returns the global sum.
+
+    Level 1: ring inside the leaf group.  Level 2: leaders ring over the
+    group sums.  Level 3: leaders send the global aggregate to their
+    group members (a gradient broadcast — still compressible).
+    """
+    group = layout.group_of(node)
+    leader = group[0]
+
+    group_ep = _ScopedEndpoint(comm, group, node)
+    group_sum = yield from ring_exchange(
+        group_ep,
+        vector,
+        len(group),
+        compressible=compressible,
+        profile=profile,
+    )
+
+    leaders: List[int] = list(layout.leaders)
+    if len(leaders) == 1:
+        return group_sum
+
+    ep = comm.endpoints[node]
+    if node == leader:
+        leader_ep = _ScopedEndpoint(comm, leaders, node)
+        global_sum = yield from ring_exchange(
+            leader_ep,
+            group_sum,
+            len(leaders),
+            compressible=compressible,
+            profile=profile,
+        )
+        events = [
+            ep.isend(member, global_sum, compressible=compressible)
+            for member in group[1:]
+        ]
+        if events:
+            yield comm.sim.all_of(events)
+        return global_sum
+
+    global_sum = yield ep.recv(leader)
+    return global_sum
+
+
+def train_hierarchical(
+    build_net,
+    make_optimizer,
+    dataset,
+    layout: GroupLayout,
+    iterations: int,
+    batch_size: int,
+    cluster: "ClusterConfig | None" = None,
+    profile: "ComputeProfile | None" = None,
+    compress_gradients: bool = False,
+    seed: int = 0,
+):
+    """End-to-end training with the two-level exchange (Fig 1c).
+
+    Mirrors :func:`repro.distributed.cluster.train_distributed` for the
+    hierarchical organization; returns the same result type with
+    ``algorithm == "hier"``.
+    """
+    from repro.dnn.training import LocalTrainer
+    from repro.transport.endpoint import ClusterComm, ClusterConfig
+
+    from .cluster import DistributedRunResult, PHASE_NAMES
+    from .node import ZERO_COMPUTE
+
+    import numpy as np
+
+    profile = profile or ZERO_COMPUTE
+    num_nodes = sum(len(g) for g in layout.groups)
+    config = cluster or ClusterConfig(num_nodes=num_nodes)
+    if config.num_nodes != num_nodes:
+        raise ValueError("cluster config node count must match the layout")
+    comm = ClusterComm(config)
+
+    trainers = [
+        LocalTrainer(
+            net=build_net(seed),
+            optimizer=make_optimizer(),
+            dataset=dataset.shard(i, num_nodes),
+            batch_size=batch_size,
+            seed=seed + 1000 * i,
+        )
+        for i in range(num_nodes)
+    ]
+    losses = [[] for _ in range(iterations)]
+    phase = {name: 0.0 for name in PHASE_NAMES}
+
+    def worker(i: int):
+        trainer = trainers[i]
+        for iteration in range(iterations):
+            if profile.local_compute_s:
+                yield comm.sim.timeout(profile.local_compute_s)
+            if i == 0:
+                phase["forward"] += profile.forward_s
+                phase["backward"] += profile.backward_s
+                phase["gpu_copy"] += profile.gpu_copy_s
+            loss, grad = trainer.local_gradient()
+            losses[iteration].append(loss)
+            aggregate = yield from hierarchical_exchange(
+                comm, i, grad, layout,
+                compressible=compress_gradients, profile=profile,
+            )
+            if profile.update_s:
+                yield comm.sim.timeout(profile.update_s)
+            if i == 0:
+                phase["update"] += profile.update_s
+            trainer.apply_gradient(aggregate)
+
+    for i in range(num_nodes):
+        comm.sim.process(worker(i))
+    total = comm.run()
+    phase["communicate"] = max(0.0, total - sum(phase.values()))
+    top1, top5 = trainers[0].evaluate()
+    return DistributedRunResult(
+        algorithm="hier",
+        num_workers=num_nodes,
+        iterations=iterations,
+        losses=[float(np.mean(l)) for l in losses],
+        final_top1=top1,
+        final_top5=top5,
+        virtual_time_s=total,
+        phase_seconds=phase,
+    )

@@ -1,0 +1,63 @@
+"""Worker-node compute profile and partitioning helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ComputeProfile:
+    """Per-iteration local-computation times of one worker.
+
+    These model the GPU/CPU side the paper measures in Table II; the
+    calibrated instances in :mod:`repro.perfmodel.calibration` are
+    derived from that table.  Gradient summation is bandwidth-style
+    (time proportional to bytes) because it scales with how much data a
+    node reduces, which differs between the WA and INCEPTIONN algorithms.
+    """
+
+    forward_s: float = 0.0
+    backward_s: float = 0.0
+    gpu_copy_s: float = 0.0
+    update_s: float = 0.0
+    #: Memory-bound vector-sum rate (bytes of *input* summed per second).
+    sum_bandwidth_bps: float = 10.4e9
+
+    def sum_time(self, nbytes: int) -> float:
+        """Time to add ``nbytes`` of incoming gradient into an accumulator."""
+        if nbytes < 0:
+            raise ValueError("nbytes cannot be negative")
+        if self.sum_bandwidth_bps <= 0:
+            return 0.0
+        return nbytes / self.sum_bandwidth_bps
+
+    @property
+    def local_compute_s(self) -> float:
+        """Forward + backward + device copy, the pre-exchange work."""
+        return self.forward_s + self.backward_s + self.gpu_copy_s
+
+
+#: A profile with zero compute time — communication-only experiments.
+ZERO_COMPUTE = ComputeProfile(sum_bandwidth_bps=0.0)
+
+
+def partition_blocks(vector: np.ndarray, num_blocks: int) -> List[np.ndarray]:
+    """Algorithm 1 line 8: split ``g`` evenly into N blocks.
+
+    Uses contiguous near-equal splits (sizes differ by at most one), the
+    same layout ``np.array_split`` produces.
+    """
+    if num_blocks < 1:
+        raise ValueError("need at least one block")
+    flat = np.ascontiguousarray(vector).reshape(-1)
+    return [np.array(b, copy=True) for b in np.array_split(flat, num_blocks)]
+
+
+def concatenate_blocks(blocks: List[np.ndarray]) -> np.ndarray:
+    """Inverse of :func:`partition_blocks`."""
+    if not blocks:
+        raise ValueError("no blocks to concatenate")
+    return np.concatenate(blocks)

@@ -1,0 +1,71 @@
+"""INCEPTIONN's gradient-centric, aggregator-free exchange (Algorithm 1).
+
+Every node partitions its local gradient into N blocks and the group
+performs a ring reduce-scatter (paper "P1", steps 1..N-1) followed by a
+ring all-gather ("P2", steps N..2N-2).  Both legs carry *gradients*, so
+when the endpoints' NICs have compression engines every hop is
+compressed — the property the whole co-design exists to create.
+
+One index arithmetic covers both phases: at step ``s`` node ``i`` sends
+block ``(i - s + 1) mod N`` and receives block ``(i - s) mod N``,
+reducing during P1 and overwriting during P2.  (The paper's Fig 6
+walkthrough fixes the intent of Algorithm 1's printed indices, which are
+internally inconsistent by one step in the P2 loop.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.transport.endpoint import Endpoint
+
+from .node import ComputeProfile, concatenate_blocks, partition_blocks
+
+
+def ring_exchange(
+    ep: Endpoint,
+    vector: np.ndarray,
+    num_workers: int,
+    compressible: bool = False,
+    profile: Optional[ComputeProfile] = None,
+):
+    """Run Algorithm 1's gradient exchange for one node; returns the
+    fully aggregated gradient vector.
+
+    A generator to be driven as a simulation process — all ``num_workers``
+    nodes must run it concurrently with consistent arguments.
+    """
+    n = num_workers
+    i = ep.node_id
+    if not 0 <= i < n:
+        raise ValueError(f"node {i} outside the {n}-worker ring")
+    if n == 1:
+        return np.array(vector, dtype=np.float32, copy=True).reshape(-1)
+
+    blocks: List[np.ndarray] = partition_blocks(vector, n)
+    successor = (i + 1) % n
+    predecessor = (i - 1) % n
+
+    for step in range(1, 2 * n - 1):
+        send_idx = (i - step + 1) % n
+        recv_idx = (i - step) % n
+        ep.isend(successor, blocks[send_idx], compressible=compressible)
+        received = yield ep.recv(predecessor)
+        if step < n:
+            # P1: sum-reduce into the local block.
+            if profile is not None:
+                yield ep.comm.sim.timeout(profile.sum_time(received.nbytes))
+            blocks[recv_idx] = (blocks[recv_idx] + received).astype(np.float32)
+        else:
+            # P2: propagate the fully aggregated block.
+            blocks[recv_idx] = np.array(received, dtype=np.float32, copy=True)
+
+    return concatenate_blocks(blocks)
+
+
+def ring_exchange_sizes(num_workers: int, vector_size: int) -> "list[int]":
+    """Block element counts of the exchange (for timing-only callers)."""
+    base, rem = divmod(vector_size, num_workers)
+    return [base + (1 if b < rem else 0) for b in range(num_workers)]

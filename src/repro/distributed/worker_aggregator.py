@@ -1,0 +1,64 @@
+"""The conventional worker-aggregator exchange (paper Fig 2, baseline).
+
+Workers push local gradients up to a designated aggregator, which sums
+them, applies the weight update, and broadcasts the new weights down.
+Only the gradient (up) leg is compressible — weights do not tolerate
+loss (paper Fig 4), which is exactly the asymmetry INCEPTIONN's
+algorithm removes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.transport.endpoint import Endpoint
+
+from .node import ComputeProfile
+
+
+def worker_exchange(
+    ep: Endpoint,
+    aggregator: int,
+    gradient: np.ndarray,
+    compress_gradients: bool = False,
+):
+    """One worker's iteration legs: send g up, receive w down.
+
+    Returns the updated weight vector from the aggregator.
+    """
+    ep.isend(aggregator, gradient, compressible=compress_gradients)
+    weights = yield ep.recv(aggregator)
+    return weights
+
+
+def aggregator_exchange(
+    ep: Endpoint,
+    workers: List[int],
+    apply_update,
+    profile: Optional[ComputeProfile] = None,
+):
+    """One aggregator iteration: gather, sum, update, broadcast.
+
+    ``apply_update(total_gradient) -> weight_vector`` is the update rule
+    (the aggregator owns the canonical weights and optimizer state).
+    Returns the broadcast weight vector.
+    """
+    total: Optional[np.ndarray] = None
+    for src in workers:
+        grad = yield ep.recv(src)
+        if total is None:
+            total = np.array(grad, dtype=np.float32, copy=True)
+        else:
+            if profile is not None:
+                yield ep.comm.sim.timeout(profile.sum_time(grad.nbytes))
+            total = (total + grad).astype(np.float32)
+    if total is None:
+        raise ValueError("aggregator needs at least one worker")
+    if profile is not None and profile.update_s:
+        yield ep.comm.sim.timeout(profile.update_s)
+    weights = apply_update(total)
+    events = [ep.isend(dst, weights) for dst in workers]
+    yield ep.comm.sim.all_of(events)
+    return weights

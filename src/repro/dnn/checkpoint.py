@@ -1,0 +1,77 @@
+"""Checkpointing: save/restore model parameters (optionally compressed).
+
+Supports plain ``.npz`` checkpoints and codec-compressed ``.incgrad``
+checkpoints.  The compressed form is intended for *gradient traces*;
+weights are loss-intolerant (paper Fig 4), so compressed *weight*
+checkpoints are refused unless explicitly forced.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core import ErrorBound
+from repro.core.gradient_file import load as load_incgrad
+from repro.core.gradient_file import save as save_incgrad
+
+from .network import Sequential
+
+
+def save_checkpoint(path: Union[str, Path], net: Sequential) -> None:
+    """Write the network's parameters (and shape metadata) to ``.npz``."""
+    path = Path(path)
+    arrays = {"__vector__": net.parameter_vector()}
+    np.savez_compressed(path, **arrays)
+
+
+def load_checkpoint(path: Union[str, Path], net: Sequential) -> None:
+    """Restore parameters saved by :func:`save_checkpoint` into ``net``."""
+    path = Path(path)
+    if not path.exists():
+        # np.savez appends .npz when the suffix is missing.
+        with_suffix = path.with_name(path.name + ".npz")
+        if with_suffix.exists():
+            path = with_suffix
+    with np.load(path) as data:
+        vector = data["__vector__"]
+    if vector.size != net.num_parameters:
+        raise ValueError(
+            f"checkpoint holds {vector.size} parameters, "
+            f"model has {net.num_parameters}"
+        )
+    net.set_parameter_vector(vector)
+
+
+def save_compressed_checkpoint(
+    path: Union[str, Path],
+    net: Sequential,
+    bound: ErrorBound,
+    allow_lossy_weights: bool = False,
+) -> int:
+    """Codec-compressed checkpoint; refuses unless explicitly allowed.
+
+    Weight-precision loss accumulates across restarts the same way it
+    accumulates across iterations (the paper's Fig 4 result), so this
+    is gated behind ``allow_lossy_weights=True``.
+    Returns bytes written.
+    """
+    if not allow_lossy_weights:
+        raise ValueError(
+            "weights are loss-intolerant (paper Fig 4); pass "
+            "allow_lossy_weights=True to store a lossy checkpoint anyway"
+        )
+    return save_incgrad(path, net.parameter_vector(), bound)
+
+
+def load_compressed_checkpoint(path: Union[str, Path], net: Sequential) -> None:
+    """Restore a codec-compressed checkpoint."""
+    vector = load_incgrad(path)
+    if vector.size != net.num_parameters:
+        raise ValueError(
+            f"checkpoint holds {vector.size} parameters, "
+            f"model has {net.num_parameters}"
+        )
+    net.set_parameter_vector(vector)

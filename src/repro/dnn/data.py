@@ -1,0 +1,154 @@
+"""Deterministic synthetic datasets.
+
+Substitution note (see DESIGN.md): MNIST and ImageNet are not available
+offline, so we synthesize learnable classification tasks — each class is
+a random smooth prototype and samples are prototype + structured noise.
+The tasks are genuinely learnable (training converges from ~chance to
+high accuracy), which is what the paper's accuracy experiments need:
+they study how *lossy gradients* perturb a working training run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+
+def _smooth(images: np.ndarray) -> np.ndarray:
+    """Cheap spatial smoothing (box blur along the last two axes)."""
+    out = images.copy()
+    for axis in (-2, -1):
+        out = (
+            out
+            + np.roll(out, 1, axis=axis)
+            + np.roll(out, -1, axis=axis)
+        ) / 3.0
+    return out
+
+
+@dataclass
+class Dataset:
+    """Feature/label arrays with minibatch and sharding helpers."""
+
+    train_x: np.ndarray
+    train_y: np.ndarray
+    test_x: np.ndarray
+    test_y: np.ndarray
+    num_classes: int
+
+    def __post_init__(self) -> None:
+        if len(self.train_x) != len(self.train_y):
+            raise ValueError("train features/labels length mismatch")
+        if len(self.test_x) != len(self.test_y):
+            raise ValueError("test features/labels length mismatch")
+
+    @property
+    def train_size(self) -> int:
+        return len(self.train_x)
+
+    def shard(self, index: int, num_shards: int) -> "Dataset":
+        """Worker ``index``'s partition D_i of the training set.
+
+        The test set is shared (evaluation is global).
+        """
+        if not 0 <= index < num_shards:
+            raise ValueError(f"shard {index} outside [0, {num_shards})")
+        sel = slice(index, None, num_shards)
+        return Dataset(
+            train_x=self.train_x[sel],
+            train_y=self.train_y[sel],
+            test_x=self.test_x,
+            test_y=self.test_y,
+            num_classes=self.num_classes,
+        )
+
+    def minibatches(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """One epoch of shuffled minibatches (last partial batch kept)."""
+        if batch_size <= 0:
+            raise ValueError("batch size must be positive")
+        order = rng.permutation(self.train_size)
+        for start in range(0, self.train_size, batch_size):
+            idx = order[start : start + batch_size]
+            yield self.train_x[idx], self.train_y[idx]
+
+    def sample_batch(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """A random minibatch (stochastic gradient descent sampling)."""
+        idx = rng.integers(0, self.train_size, size=batch_size)
+        return self.train_x[idx], self.train_y[idx]
+
+
+def synthetic_images(
+    num_classes: int = 10,
+    image_shape: Tuple[int, ...] = (1, 28, 28),
+    train_size: int = 2000,
+    test_size: int = 500,
+    noise: float = 0.6,
+    seed: int = 0,
+    flat: bool = False,
+) -> Dataset:
+    """Class-prototype image classification task.
+
+    ``flat=True`` returns (N, features) arrays for MLP models; otherwise
+    NCHW image tensors for convolutional models.
+    """
+    if num_classes < 2:
+        raise ValueError("need at least two classes")
+    rng = np.random.default_rng(seed)
+    prototypes = _smooth(
+        rng.standard_normal((num_classes,) + image_shape).astype(np.float32)
+    )
+
+    def make(count: int) -> Tuple[np.ndarray, np.ndarray]:
+        labels = rng.integers(0, num_classes, size=count)
+        base = prototypes[labels]
+        samples = base + noise * rng.standard_normal(base.shape).astype(np.float32)
+        # Mild per-sample gain variation, like exposure differences.
+        gain = rng.uniform(0.8, 1.2, size=(count,) + (1,) * len(image_shape))
+        samples = (samples * gain).astype(np.float32)
+        if flat:
+            samples = samples.reshape(count, -1)
+        return samples, labels
+
+    train_x, train_y = make(train_size)
+    test_x, test_y = make(test_size)
+    return Dataset(
+        train_x=train_x,
+        train_y=train_y,
+        test_x=test_x,
+        test_y=test_y,
+        num_classes=num_classes,
+    )
+
+
+def hdc_dataset(train_size: int = 2000, test_size: int = 500, seed: int = 0) -> Dataset:
+    """MNIST stand-in for the Handwritten Digit Classification net."""
+    return synthetic_images(
+        num_classes=10,
+        image_shape=(1, 28, 28),
+        train_size=train_size,
+        test_size=test_size,
+        noise=0.6,
+        seed=seed,
+        flat=True,
+    )
+
+
+def cnn_dataset(
+    train_size: int = 1500, test_size: int = 400, seed: int = 0
+) -> Dataset:
+    """Small-image dataset for the convolutional AlexNet proxy."""
+    return synthetic_images(
+        num_classes=10,
+        image_shape=(3, 16, 16),
+        train_size=train_size,
+        test_size=test_size,
+        noise=0.5,
+        seed=seed,
+        flat=False,
+    )

@@ -1,0 +1,38 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class SoftmaxCrossEntropy:
+    """Softmax + cross-entropy with integer class labels."""
+
+    def __init__(self) -> None:
+        self._probs: Optional[np.ndarray] = None
+        self._labels: Optional[np.ndarray] = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        """Mean cross-entropy over the batch."""
+        if logits.ndim != 2:
+            raise ValueError("logits must be (batch, classes)")
+        if labels.shape[0] != logits.shape[0]:
+            raise ValueError("batch size mismatch between logits and labels")
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        self._probs = probs
+        self._labels = labels
+        batch = np.arange(logits.shape[0])
+        return float(-np.log(probs[batch, labels] + 1e-12).mean())
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss w.r.t. the logits."""
+        if self._probs is None or self._labels is None:
+            raise RuntimeError("backward called before forward")
+        grad = self._probs.copy()
+        batch = np.arange(grad.shape[0])
+        grad[batch, self._labels] -= 1.0
+        return (grad / grad.shape[0]).astype(np.float32)

@@ -1,0 +1,26 @@
+"""Prediction-quality metrics (top-1 / top-5 accuracy, paper Fig 4/14)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 1) -> float:
+    """Fraction of samples whose label is within the top-k logits."""
+    if logits.ndim != 2:
+        raise ValueError("logits must be (batch, classes)")
+    if labels.shape[0] != logits.shape[0]:
+        raise ValueError("batch size mismatch")
+    if not 1 <= k <= logits.shape[1]:
+        raise ValueError(f"k={k} outside [1, {logits.shape[1]}]")
+    top = np.argpartition(-logits, k - 1, axis=1)[:, :k]
+    hits = (top == labels[:, None]).any(axis=1)
+    return float(hits.mean())
+
+
+def top1_accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    return top_k_accuracy(logits, labels, k=1)
+
+
+def top5_accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    return top_k_accuracy(logits, labels, k=min(5, logits.shape[1]))

@@ -1,0 +1,109 @@
+"""Sequential network container with flat parameter/gradient views.
+
+Distributed training exchanges *vectors*: the trainer flattens every
+parameter gradient into one float32 array (the ``g`` of Algorithm 1),
+ships it, and scatters the aggregate back.  This module owns that
+flatten/unflatten bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .layers import Layer
+from .losses import SoftmaxCrossEntropy
+
+
+class Sequential:
+    """A stack of layers trained with softmax cross-entropy."""
+
+    def __init__(self, layers: Sequence[Layer]):
+        if not layers:
+            raise ValueError("a network needs at least one layer")
+        self.layers: List[Layer] = list(layers)
+        self.loss = SoftmaxCrossEntropy()
+        self._param_index: List[Tuple[Layer, str]] = [
+            (layer, name) for layer in self.layers for name in sorted(layer.params)
+        ]
+
+    # -- passes -----------------------------------------------------------------
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def compute_loss(
+        self, x: np.ndarray, labels: np.ndarray, training: bool = True
+    ) -> float:
+        return self.loss.forward(self.forward(x, training=training), labels)
+
+    def backward(self) -> None:
+        """Backpropagate from the last ``compute_loss`` call."""
+        grad = self.loss.backward()
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class logits in evaluation mode."""
+        return self.forward(x, training=False)
+
+    # -- flat views --------------------------------------------------------------
+
+    @property
+    def num_parameters(self) -> int:
+        return sum(layer.params[name].size for layer, name in self._param_index)
+
+    @property
+    def nbytes(self) -> int:
+        """Model size in bytes (float32 storage)."""
+        return self.num_parameters * 4
+
+    def parameter_vector(self) -> np.ndarray:
+        """All parameters flattened into one float32 vector."""
+        if not self._param_index:
+            return np.empty(0, dtype=np.float32)
+        return np.concatenate(
+            [layer.params[name].reshape(-1) for layer, name in self._param_index]
+        ).astype(np.float32, copy=False)
+
+    def set_parameter_vector(self, vec: np.ndarray) -> None:
+        """Scatter a flat vector back into the layer parameters."""
+        self._scatter(vec, into_grads=False)
+
+    def gradient_vector(self) -> np.ndarray:
+        """All gradients (from the last backward) flattened."""
+        parts = []
+        for layer, name in self._param_index:
+            if name not in layer.grads:
+                raise RuntimeError(
+                    f"gradient for {type(layer).__name__}.{name} missing; "
+                    "call backward() first"
+                )
+            parts.append(layer.grads[name].reshape(-1))
+        if not parts:
+            return np.empty(0, dtype=np.float32)
+        return np.concatenate(parts).astype(np.float32, copy=False)
+
+    def set_gradient_vector(self, vec: np.ndarray) -> None:
+        """Scatter a flat gradient vector into the layers' grads."""
+        self._scatter(vec, into_grads=True)
+
+    def _scatter(self, vec: np.ndarray, into_grads: bool) -> None:
+        flat = np.asarray(vec, dtype=np.float32).reshape(-1)
+        if flat.size != self.num_parameters:
+            raise ValueError(
+                f"vector has {flat.size} values, model has {self.num_parameters}"
+            )
+        offset = 0
+        for layer, name in self._param_index:
+            shape = layer.params[name].shape
+            size = layer.params[name].size
+            chunk = flat[offset : offset + size].reshape(shape)
+            if into_grads:
+                layer.grads[name] = chunk.copy()
+            else:
+                layer.params[name] = chunk.copy()
+            offset += size

@@ -1,0 +1,158 @@
+"""SGD with momentum, weight decay and stepped learning-rate reduction.
+
+Matches the training recipe of the paper's Table I: per-model learning
+rate, momentum 0.9, weight decay, and a learning-rate reduction by a
+constant factor every fixed number of iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from .network import Sequential
+
+
+@dataclass(frozen=True)
+class LRSchedule:
+    """Step schedule: divide the base LR by ``factor`` every ``every`` iters.
+
+    ``warmup`` iterations of linear ramp-up precede the step schedule —
+    the standard large-batch recipe (Goyal et al. [7], which the paper
+    cites) that distributed training with summed gradients benefits
+    from.
+    """
+
+    base_lr: float
+    factor: float = 1.0
+    every: int = 0  # 0 disables reduction
+    warmup: int = 0  # 0 disables warm-up
+
+    def lr_at(self, iteration: int) -> float:
+        if iteration < 0:
+            raise ValueError("iteration cannot be negative")
+        if self.warmup > 0 and iteration < self.warmup:
+            return self.base_lr * (iteration + 1) / self.warmup
+        if self.every <= 0 or self.factor <= 1.0:
+            return self.base_lr
+        return self.base_lr / (self.factor ** (iteration // self.every))
+
+
+class SGD:
+    """Momentum SGD over a :class:`Sequential` network."""
+
+    def __init__(
+        self,
+        schedule: LRSchedule,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if weight_decay < 0.0:
+            raise ValueError("weight decay cannot be negative")
+        self.schedule = schedule
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.iteration = 0
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    @property
+    def lr(self) -> float:
+        return self.schedule.lr_at(self.iteration)
+
+    def step(self, net: Sequential) -> None:
+        """Apply one update from the network's current gradients."""
+        lr = self.lr
+        for index, (layer, name) in enumerate(net._param_index):
+            param = layer.params[name]
+            grad = layer.grads.get(name)
+            if grad is None:
+                raise RuntimeError(
+                    f"no gradient for {type(layer).__name__}.{name}"
+                )
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param
+            vel = self._velocity.get(index)
+            if vel is None:
+                vel = np.zeros_like(param)
+            vel = self.momentum * vel - lr * grad
+            self._velocity[index] = vel
+            layer.params[name] = (param + vel).astype(np.float32)
+        self.iteration += 1
+
+    def step_with_vector(self, net: Sequential, gradient: np.ndarray) -> None:
+        """Scatter an (aggregated) flat gradient, then update.
+
+        This is line 21 of Algorithm 1: ``w <- w - lr * g`` where ``g``
+        arrived from the ring exchange.
+        """
+        net.set_gradient_vector(gradient)
+        self.step(net)
+
+
+class Adam:
+    """Adam optimizer — the modern counterpart for comparison runs.
+
+    Same interface as :class:`SGD` so trainers accept either.
+    """
+
+    def __init__(
+        self,
+        schedule: LRSchedule,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        if weight_decay < 0.0:
+            raise ValueError("weight decay cannot be negative")
+        self.schedule = schedule
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.iteration = 0
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+
+    @property
+    def lr(self) -> float:
+        return self.schedule.lr_at(self.iteration)
+
+    def step(self, net: Sequential) -> None:
+        lr = self.lr
+        t = self.iteration + 1
+        correction1 = 1.0 - self.beta1**t
+        correction2 = 1.0 - self.beta2**t
+        for index, (layer, name) in enumerate(net._param_index):
+            param = layer.params[name]
+            grad = layer.grads.get(name)
+            if grad is None:
+                raise RuntimeError(
+                    f"no gradient for {type(layer).__name__}.{name}"
+                )
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param
+            m = self._m.get(index)
+            v = self._v.get(index)
+            if m is None:
+                m = np.zeros_like(param)
+                v = np.zeros_like(param)
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad * grad
+            self._m[index], self._v[index] = m, v
+            m_hat = m / correction1
+            v_hat = v / correction2
+            layer.params[name] = (
+                param - lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            ).astype(np.float32)
+        self.iteration += 1
+
+    def step_with_vector(self, net: Sequential, gradient: np.ndarray) -> None:
+        net.set_gradient_vector(gradient)
+        self.step(net)

@@ -1,0 +1,49 @@
+"""Cycle-approximate, bit-exact model of the INCEPTIONN NIC hardware.
+
+Substitutes for the paper's Xilinx VC709 implementation: the same burst
+structure (8 compression/decompression blocks over a 256-bit AXI
+stream), ToS-based packet classification, and a 100 MHz clock driving
+the timing figures the network simulator consumes.
+"""
+
+from .axi import BURST_BITS, BURST_BYTES, WORDS_PER_BURST, BurstError, burst_count
+from .blocks import CompressionBlock, DecompressionBlock
+from .compression_engine import (
+    DEFAULT_CLOCK_HZ,
+    PIPELINE_DEPTH,
+    AlignmentUnit,
+    CompressionEngine,
+    EngineStats,
+)
+from .decompression_engine import (
+    BurstBuffer,
+    DecompressionEngine,
+    DecompressionError,
+    TagDecoder,
+)
+from .nic import InceptionnNic, NicCounters
+from .timing import engine_latency_s, engine_throughput_bps, timing_model_for
+
+__all__ = [
+    "BURST_BITS",
+    "BURST_BYTES",
+    "WORDS_PER_BURST",
+    "BurstError",
+    "burst_count",
+    "CompressionBlock",
+    "DecompressionBlock",
+    "DEFAULT_CLOCK_HZ",
+    "PIPELINE_DEPTH",
+    "AlignmentUnit",
+    "CompressionEngine",
+    "EngineStats",
+    "BurstBuffer",
+    "DecompressionEngine",
+    "DecompressionError",
+    "TagDecoder",
+    "InceptionnNic",
+    "NicCounters",
+    "engine_latency_s",
+    "engine_throughput_bps",
+    "timing_model_for",
+]

@@ -1,0 +1,51 @@
+"""Compression Blocks (CBs) and Decompression Blocks (DBs).
+
+A CB is one lane of the Compression Unit (paper Fig 9): it takes a
+32-bit word off the 256-bit AXI burst and produces a variable-size
+compressed vector (32/16/8/0 bits) plus a 2-bit tag.  A DB is the
+inverse lane in the Decompression Unit (Fig 10).
+
+Functionally each block realizes Algorithm 2/3; the implementations
+delegate to the scalar reference codec so the hardware model is
+bit-exact with the specification by construction, while the classes add
+the hardware-facing interface (32-bit word in/out) and per-block
+operation counters used by the timing model.
+"""
+
+from __future__ import annotations
+
+from repro.core.bounds import ErrorBound
+from repro.core.reference import (
+    bits_to_float,
+    compress_value,
+    decompress_value,
+    float_to_bits,
+)
+from repro.core.tags import payload_bits
+
+
+class CompressionBlock:
+    """One CB lane: 32-bit float word in, (tag, payload, nbits) out."""
+
+    def __init__(self, bound: ErrorBound) -> None:
+        self.bound = bound
+        self.words_processed = 0
+
+    def process(self, word: int) -> "tuple[int, int, int]":
+        """Compress one 32-bit word; returns ``(tag, payload, nbits)``."""
+        self.words_processed += 1
+        tag, payload = compress_value(bits_to_float(word), self.bound)
+        return tag, payload, payload_bits(tag)
+
+
+class DecompressionBlock:
+    """One DB lane: (tag, payload) in, 32-bit float word out."""
+
+    def __init__(self, bound: ErrorBound) -> None:
+        self.bound = bound
+        self.words_produced = 0
+
+    def process(self, tag: int, payload: int) -> int:
+        """Decompress one compressed vector back to a 32-bit word."""
+        self.words_produced += 1
+        return float_to_bits(decompress_value(tag, payload, self.bound))

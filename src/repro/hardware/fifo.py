@@ -1,0 +1,125 @@
+"""Virtual FIFO model (the staging buffers of Fig 8).
+
+The reference NIC design stores packets in *virtual FIFOs* between the
+packet DMA, the engines and the Ethernet MACs.  This module models one
+such FIFO at byte granularity with fluid (rate-based) fill/drain, which
+is what sizing questions need: given the producer/consumer rates on
+each side of an engine, how much buffering keeps the datapath from
+overflowing or underrunning?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+class FifoOverflow(RuntimeError):
+    """Producer pushed into a full FIFO."""
+
+
+@dataclass
+class VirtualFifo:
+    """Byte-level FIFO with occupancy tracking."""
+
+    capacity: int
+    occupancy: int = 0
+    high_watermark: int = 0
+    total_in: int = 0
+    total_out: int = 0
+    #: (time, occupancy) samples recorded by ``sample``.
+    trace: List[Tuple[float, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+
+    def push(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("cannot push negative bytes")
+        if self.occupancy + nbytes > self.capacity:
+            raise FifoOverflow(
+                f"push of {nbytes} B overflows FIFO "
+                f"({self.occupancy}/{self.capacity} B occupied)"
+            )
+        self.occupancy += nbytes
+        self.total_in += nbytes
+        self.high_watermark = max(self.high_watermark, self.occupancy)
+
+    def pop(self, nbytes: int) -> int:
+        """Drain up to ``nbytes``; returns what was actually available."""
+        if nbytes < 0:
+            raise ValueError("cannot pop negative bytes")
+        taken = min(nbytes, self.occupancy)
+        self.occupancy -= taken
+        self.total_out += taken
+        return taken
+
+    def sample(self, time: float) -> None:
+        self.trace.append((time, self.occupancy))
+
+
+@dataclass(frozen=True)
+class FifoSizingResult:
+    """Outcome of a fluid fill/drain simulation."""
+
+    high_watermark: int
+    overflowed: bool
+    underrun_time_s: float  # consumer idle time waiting on data
+
+
+def simulate_fifo(
+    producer_bps: float,
+    consumer_bps: float,
+    burst_bytes: int,
+    capacity: int,
+    idle_gap_s: float = 0.0,
+    bursts: int = 1,
+    step_s: float = 1e-7,
+) -> FifoSizingResult:
+    """Fluid simulation of a produce/consume FIFO over packet bursts.
+
+    The producer streams ``burst_bytes`` at ``producer_bps``, idles for
+    ``idle_gap_s``, and repeats; the consumer drains continuously at
+    ``consumer_bps``.  Returns the high watermark, whether the FIFO
+    would overflow ``capacity``, and how long the consumer starved.
+    """
+    if producer_bps <= 0 or consumer_bps <= 0:
+        raise ValueError("rates must be positive")
+    if burst_bytes <= 0 or bursts < 1:
+        raise ValueError("need at least one positive burst")
+    fifo = VirtualFifo(capacity=max(capacity, 1))
+    overflowed = False
+    underrun = 0.0
+    time = 0.0
+    for _ in range(bursts):
+        remaining = float(burst_bytes)
+        while remaining > 0:
+            produced = min(remaining, producer_bps * step_s)
+            remaining -= produced
+            drained = consumer_bps * step_s
+            # Net fill for this step.
+            incoming = int(round(produced))
+            space = fifo.capacity - fifo.occupancy
+            if incoming > space:
+                overflowed = True
+                incoming = space
+            if incoming:
+                fifo.push(incoming)
+            got = fifo.pop(int(round(drained)))
+            if got < int(round(drained)):
+                underrun += step_s * (1 - got / max(1, int(round(drained))))
+            time += step_s
+        # Idle gap: consumer keeps draining.
+        gap_left = idle_gap_s
+        while gap_left > 0:
+            got = fifo.pop(int(round(consumer_bps * step_s)))
+            if got == 0:
+                underrun += step_s
+            gap_left -= step_s
+            time += step_s
+    return FifoSizingResult(
+        high_watermark=fifo.high_watermark,
+        overflowed=overflowed,
+        underrun_time_s=underrun,
+    )

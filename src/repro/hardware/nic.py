@@ -1,0 +1,150 @@
+"""NIC datapath with integrated (de)compression engines (paper Fig 8).
+
+Transmit side: packets arrive from the host over the (modeled) DMA, a
+comparator checks the IP ToS byte, and payloads of packets tagged
+``0x28`` stream through the Compression Engine before entering the MAC
+FIFOs; everything else bypasses.  Receive side mirrors this with the
+Decompression Engine.
+
+This is the *functional* model — it transforms real packet bytes
+bit-exactly.  Its timing surface is exported to the network simulator
+via :func:`repro.hardware.timing.timing_model_for`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.bounds import ErrorBound
+from repro.network.packet import Packet, segment_bytes
+
+from .axi import WORDS_PER_BURST
+from .compression_engine import DEFAULT_CLOCK_HZ, CompressionEngine
+from .decompression_engine import DecompressionEngine
+
+
+@dataclass
+class NicCounters:
+    """Traffic counters maintained by the datapath."""
+
+    tx_packets: int = 0
+    tx_compressed: int = 0
+    tx_bypassed: int = 0
+    tx_payload_bytes_in: int = 0
+    tx_payload_bytes_out: int = 0
+    rx_packets: int = 0
+    rx_decompressed: int = 0
+    rx_bypassed: int = 0
+
+    @property
+    def tx_compression_ratio(self) -> float:
+        """Payload-level compression ratio achieved so far."""
+        if self.tx_payload_bytes_out == 0:
+            return 1.0
+        return self.tx_payload_bytes_in / self.tx_payload_bytes_out
+
+
+@dataclass
+class _CompressionContext:
+    """Sidecar metadata carried by compressed packets.
+
+    In the physical system the receive host knows the logical message
+    length (the MPI receive posts it); in the simulation we carry it on
+    the packet so the RX path can trim group padding.
+    """
+
+    num_values: int
+    original_context: object = None
+
+
+class InceptionnNic:
+    """A NIC with INCEPTIONN compression/decompression engines."""
+
+    def __init__(
+        self,
+        node_id: int,
+        bound: ErrorBound,
+        enabled: bool = True,
+        num_blocks: int = WORDS_PER_BURST,
+        clock_hz: float = DEFAULT_CLOCK_HZ,
+    ) -> None:
+        self.node_id = node_id
+        self.bound = bound
+        self.enabled = enabled
+        self.compressor = CompressionEngine(bound, num_blocks, clock_hz)
+        self.decompressor = DecompressionEngine(bound, num_blocks, clock_hz)
+        self.counters = NicCounters()
+
+    # -- per-packet datapath -----------------------------------------------------
+
+    def process_tx(self, packet: Packet) -> Packet:
+        """Transmit-side classification + compression of one packet."""
+        self.counters.tx_packets += 1
+        if not (self.enabled and packet.compressible):
+            self.counters.tx_bypassed += 1
+            return packet
+        if packet.payload is None:
+            raise ValueError(
+                "bit-exact NIC processing needs materialized payload bytes"
+            )
+        compressed, _ = self.compressor.compress(packet.payload)
+        self.counters.tx_compressed += 1
+        self.counters.tx_payload_bytes_in += len(packet.payload)
+        self.counters.tx_payload_bytes_out += len(compressed)
+        return Packet(
+            src=packet.src,
+            dst=packet.dst,
+            seq=packet.seq,
+            tos=packet.tos,
+            payload=compressed,
+            context=_CompressionContext(
+                num_values=len(packet.payload) // 4,
+                original_context=packet.context,
+            ),
+        )
+
+    def process_rx(self, packet: Packet) -> Packet:
+        """Receive-side classification + decompression of one packet."""
+        self.counters.rx_packets += 1
+        if not (self.enabled and packet.compressible):
+            self.counters.rx_bypassed += 1
+            return packet
+        if packet.payload is None:
+            raise ValueError(
+                "bit-exact NIC processing needs materialized payload bytes"
+            )
+        context = packet.context
+        num_values = (
+            context.num_values if isinstance(context, _CompressionContext) else None
+        )
+        restored, _ = self.decompressor.decompress(packet.payload, num_values)
+        self.counters.rx_decompressed += 1
+        original_context = (
+            context.original_context
+            if isinstance(context, _CompressionContext)
+            else context
+        )
+        return Packet(
+            src=packet.src,
+            dst=packet.dst,
+            seq=packet.seq,
+            tos=packet.tos,
+            payload=restored,
+            context=original_context,
+        )
+
+    # -- message-level convenience -------------------------------------------------
+
+    def transmit_message(
+        self, data: bytes, dst: int, tos: int, mss: int = 1460
+    ) -> List[Packet]:
+        """Segment a byte stream and run every packet through TX."""
+        packets = segment_bytes(data, src=self.node_id, dst=dst, tos=tos, mss=mss)
+        return [self.process_tx(pkt) for pkt in packets]
+
+    def receive_message(self, packets: List[Packet]) -> bytes:
+        """Run packets through RX in sequence order and reassemble."""
+        restored = [self.process_rx(pkt) for pkt in packets]
+        restored.sort(key=lambda p: p.seq)
+        return b"".join(p.payload for p in restored)

@@ -1,0 +1,41 @@
+"""Bridges the bit-exact hardware model to the network simulator's timing.
+
+The network simulator only needs two numbers per NIC: the engine's
+uncompressed-side streaming throughput and its pipeline-fill latency.
+Both are derived from the engine configuration (block count, clock), so
+ablations over engine width automatically propagate into communication
+times.
+"""
+
+from __future__ import annotations
+
+from repro.network.simulator import NicTimingModel
+
+from .axi import BURST_BITS, WORDS_PER_BURST
+from .compression_engine import DEFAULT_CLOCK_HZ, PIPELINE_DEPTH, CompressionEngine
+from .nic import InceptionnNic
+
+
+def engine_throughput_bps(
+    num_blocks: int = WORDS_PER_BURST, clock_hz: float = DEFAULT_CLOCK_HZ
+) -> float:
+    """Bytes/second of uncompressed data an engine can stream."""
+    beats_per_burst = -(-WORDS_PER_BURST // num_blocks)
+    return (BURST_BITS / 8) * clock_hz / beats_per_burst
+
+
+def engine_latency_s(clock_hz: float = DEFAULT_CLOCK_HZ) -> float:
+    """Pipeline-fill latency through the engine."""
+    return PIPELINE_DEPTH / clock_hz
+
+
+def timing_model_for(nic: InceptionnNic) -> NicTimingModel:
+    """The network-simulator view of a functional NIC instance."""
+    engine: CompressionEngine = nic.compressor
+    return NicTimingModel(
+        compression=nic.enabled,
+        engine_latency_s=engine_latency_s(engine.clock_hz),
+        engine_throughput_bps=engine_throughput_bps(
+            engine.num_blocks, engine.clock_hz
+        ),
+    )

@@ -1,0 +1,70 @@
+"""Network substrate: event kernel, packets, links, topologies, simulator."""
+
+from .events import Event, Process, Simulation, Store
+from .fabric import (
+    TwoTierFabric,
+    rack_aligned_ring_order,
+    rack_interleaved_ring_order,
+)
+from .loss import DeliveryFailure, LossModel, RetransmitPolicy
+from .link import Link
+from .packet import (
+    DEFAULT_MSS,
+    HEADER_BYTES,
+    TOS_COMPRESS,
+    TOS_DEFAULT,
+    Packet,
+    packet_count,
+    segment_bytes,
+    segment_size,
+)
+from .simulator import (
+    ENGINE_THROUGHPUT_BPS,
+    MessageReceipt,
+    Network,
+    NicTimingModel,
+    uniform_nics,
+)
+from .topology import (
+    DEFAULT_BANDWIDTH_BPS,
+    DEFAULT_LINK_LATENCY_S,
+    DEFAULT_SWITCH_DELAY_S,
+    DirectRing,
+    Route,
+    SwitchedStar,
+    Topology,
+)
+
+__all__ = [
+    "Event",
+    "TwoTierFabric",
+    "rack_aligned_ring_order",
+    "rack_interleaved_ring_order",
+    "DeliveryFailure",
+    "LossModel",
+    "RetransmitPolicy",
+    "Process",
+    "Simulation",
+    "Store",
+    "Link",
+    "DEFAULT_MSS",
+    "HEADER_BYTES",
+    "TOS_COMPRESS",
+    "TOS_DEFAULT",
+    "Packet",
+    "packet_count",
+    "segment_bytes",
+    "segment_size",
+    "ENGINE_THROUGHPUT_BPS",
+    "MessageReceipt",
+    "Network",
+    "NicTimingModel",
+    "uniform_nics",
+    "DEFAULT_BANDWIDTH_BPS",
+    "DEFAULT_LINK_LATENCY_S",
+    "DEFAULT_SWITCH_DELAY_S",
+    "DirectRing",
+    "Route",
+    "SwitchedStar",
+    "Topology",
+]

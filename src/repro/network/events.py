@@ -1,0 +1,170 @@
+"""A small discrete-event simulation kernel.
+
+The evaluation infrastructure needs wall-clock-faithful modeling of
+concurrent transfers (link contention at the aggregator is the paper's
+central bottleneck), so we build a generator-based process model in the
+style of SimPy: processes are Python generators that ``yield`` events;
+the kernel resumes them when those events fire.
+
+Only the features the reproduction needs are implemented: one-shot
+events, timeouts, processes, and FIFO stores (used as message queues).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Callable, Generator, List, Optional
+
+
+class Event:
+    """A one-shot occurrence processes can wait on."""
+
+    def __init__(self, sim: "Simulation") -> None:
+        self.sim = sim
+        self.triggered = False
+        self.value: Any = None
+        self._callbacks: List[Callable[["Event"], None]] = []
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event now, delivering ``value`` to waiters."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.value = value
+        self.sim._schedule_callbacks(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event fires (immediately if fired)."""
+        if self.triggered:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+
+class Process(Event):
+    """A running generator; itself an event that fires on completion."""
+
+    def __init__(self, sim: "Simulation", generator: Generator) -> None:
+        super().__init__(sim)
+        self._generator = generator
+        sim._immediate(lambda: self._resume(None))
+
+    def _resume(self, value: Any) -> None:
+        try:
+            target = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(getattr(stop, "value", None))
+            return
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"processes must yield Event objects, got {type(target).__name__}"
+            )
+        target.add_callback(lambda ev: self._resume(ev.value))
+
+
+class Simulation:
+    """Event queue and virtual clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List = []
+        self._counter = itertools.count()
+
+    # -- event construction -------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event (trigger it with ``succeed``)."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that fires ``delay`` simulated seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        ev = Event(self)
+        self._at(self.now + delay, lambda: ev.succeed(value))
+        return ev
+
+    def process(self, generator: Generator) -> Process:
+        """Start a generator as a concurrent process."""
+        return Process(self, generator)
+
+    def all_of(self, events: List[Event]) -> Event:
+        """An event firing once every event in ``events`` has fired."""
+        gate = Event(self)
+        remaining = [len(events)]
+        if not events:
+            self._immediate(lambda: gate.succeed([]))
+            return gate
+
+        def arm(ev: Event) -> None:
+            def on_fire(_: Event) -> None:
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    gate.succeed([e.value for e in events])
+
+            ev.add_callback(on_fire)
+
+        for ev in events:
+            arm(ev)
+        return gate
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _at(self, time: float, fn: Callable[[], None]) -> None:
+        heapq.heappush(self._heap, (time, next(self._counter), fn))
+
+    def _immediate(self, fn: Callable[[], None]) -> None:
+        self._at(self.now, fn)
+
+    def _schedule_callbacks(self, event: Event) -> None:
+        callbacks, event._callbacks = event._callbacks, []
+        for fn in callbacks:
+            self._at(self.now, lambda fn=fn: fn(event))
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Execute events until the queue drains (or ``until`` is reached).
+
+        Returns the final simulation time.
+        """
+        while self._heap:
+            time, _, fn = self._heap[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = time
+            fn()
+        return self.now
+
+
+class Store:
+    """Unbounded FIFO queue connecting producer and consumer processes."""
+
+    def __init__(self, sim: Simulation) -> None:
+        self.sim = sim
+        self._items: deque = deque()
+        self._getters: deque = deque()
+
+    def put(self, item: Any) -> None:
+        """Deposit an item, waking the oldest waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """An event that fires with the next available item."""
+        ev = self.sim.event()
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,118 @@
+"""Two-tier oversubscribed fabric (datacenter context, paper Sec. VII-C).
+
+The paper motivates its 10 GbE assumption with real datacenter designs:
+1-10 Gb/s within a rack, with *oversubscribed* uplinks between top-of-
+rack (ToR) switches.  This topology models that: nodes attach to per-
+rack ToR switches; racks interconnect through a core switch whose
+uplinks carry ``oversubscription``-times less aggregate bandwidth than
+the edge.  Cross-rack traffic contends on the uplinks, so algorithm
+placement (rings within racks vs across them) becomes measurable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .events import Simulation
+from .link import Link
+from .topology import (
+    DEFAULT_BANDWIDTH_BPS,
+    DEFAULT_LINK_LATENCY_S,
+    DEFAULT_SWITCH_DELAY_S,
+    Route,
+    Topology,
+)
+
+
+class TwoTierFabric(Topology):
+    """Racks of nodes under ToR switches joined by a core switch.
+
+    A message inside one rack crosses node->ToR->node.  A cross-rack
+    message crosses node->ToR->core->ToR->node, where the ToR->core and
+    core->ToR hops run at ``edge_bandwidth / oversubscription``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        num_racks: int,
+        nodes_per_rack: int,
+        bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+        oversubscription: float = 4.0,
+        link_latency_s: float = DEFAULT_LINK_LATENCY_S,
+        switch_delay_s: float = DEFAULT_SWITCH_DELAY_S,
+    ) -> None:
+        if num_racks < 1 or nodes_per_rack < 1:
+            raise ValueError("need at least one rack with one node")
+        if oversubscription < 1.0:
+            raise ValueError("oversubscription factor must be >= 1")
+        super().__init__(sim, num_racks * nodes_per_rack)
+        self.num_racks = num_racks
+        self.nodes_per_rack = nodes_per_rack
+        self.switch_delay_s = switch_delay_s
+        self.oversubscription = oversubscription
+
+        uplink_bandwidth = bandwidth_bps * nodes_per_rack / oversubscription
+
+        self.edge_up: Dict[int, Link] = {}
+        self.edge_down: Dict[int, Link] = {}
+        for node in range(self.num_nodes):
+            self.edge_up[node] = Link(
+                sim, bandwidth_bps, link_latency_s, name=f"n{node}->tor"
+            )
+            self.edge_down[node] = Link(
+                sim, bandwidth_bps, link_latency_s, name=f"tor->n{node}"
+            )
+        self.core_up: Dict[int, Link] = {}
+        self.core_down: Dict[int, Link] = {}
+        for rack in range(num_racks):
+            self.core_up[rack] = Link(
+                sim, uplink_bandwidth, link_latency_s, name=f"tor{rack}->core"
+            )
+            self.core_down[rack] = Link(
+                sim, uplink_bandwidth, link_latency_s, name=f"core->tor{rack}"
+            )
+
+    def rack_of(self, node: int) -> int:
+        return node // self.nodes_per_rack
+
+    def route(self, src: int, dst: int) -> Route:
+        self._check_endpoints(src, dst)
+        src_rack, dst_rack = self.rack_of(src), self.rack_of(dst)
+        if src_rack == dst_rack:
+            links = (self.edge_up[src], self.edge_down[dst])
+        else:
+            links = (
+                self.edge_up[src],
+                self.core_up[src_rack],
+                self.core_down[dst_rack],
+                self.edge_down[dst],
+            )
+        return Route(links=links, forwarding_delay_s=self.switch_delay_s)
+
+    def all_links(self) -> List[Link]:
+        return (
+            list(self.edge_up.values())
+            + list(self.edge_down.values())
+            + list(self.core_up.values())
+            + list(self.core_down.values())
+        )
+
+
+def rack_aligned_ring_order(fabric: TwoTierFabric) -> List[int]:
+    """Node order that keeps ring neighbours rack-local where possible.
+
+    Consecutive ring positions within a rack use only edge links; only
+    one hop per rack pair crosses the oversubscribed core — the natural
+    placement for Algorithm 1 on a two-tier fabric.
+    """
+    return list(range(fabric.num_nodes))
+
+
+def rack_interleaved_ring_order(fabric: TwoTierFabric) -> List[int]:
+    """Adversarial order: every ring hop crosses racks (worst case)."""
+    order: List[int] = []
+    for offset in range(fabric.nodes_per_rack):
+        for rack in range(fabric.num_racks):
+            order.append(rack * fabric.nodes_per_rack + offset)
+    return order

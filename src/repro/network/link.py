@@ -1,0 +1,119 @@
+"""Point-to-point link model with bandwidth, propagation latency and FIFO
+queueing.
+
+A link is unidirectional; full-duplex connections are a pair of links.
+Serialization time is ``bytes * 8 / bandwidth``; contention is modeled by
+FIFO reservation (a transmit started while the link is busy queues behind
+the in-flight traffic).  The aggregator bottleneck the paper measures is
+precisely the FIFO queue on the switch-to-aggregator link.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .events import Event, Simulation
+from .loss import LossModel, LossyLinkMixin
+
+
+class Link:
+    """One direction of a network cable (or a switch port's egress)."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        bandwidth_bps: float,
+        latency_s: float,
+        name: str = "",
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency_s < 0:
+            raise ValueError("latency cannot be negative")
+        self.sim = sim
+        self.bandwidth_bps = bandwidth_bps
+        self.latency_s = latency_s
+        self.name = name
+        self._free_at = 0.0
+        #: Total bytes ever accepted, for utilization accounting.
+        self.bytes_carried = 0
+        #: Total time the link spent serializing, for utilization accounting.
+        self.busy_time = 0.0
+        self._loss = LossyLinkMixin(None)
+
+    def attach_loss(self, model: LossModel, salt: int = 0) -> None:
+        """Enable Bernoulli train loss on this link."""
+        salted = LossModel(
+            drop_probability=model.drop_probability, seed=model.seed + salt
+        )
+        self._loss = LossyLinkMixin(salted)
+
+    def should_drop(self) -> bool:
+        """Decide (and record) whether the next train is lost here."""
+        return self._loss.should_drop()
+
+    @property
+    def trains_dropped(self) -> int:
+        return self._loss.trains_dropped
+
+    def serialization_time(self, nbytes: int) -> float:
+        """Time to clock ``nbytes`` onto the wire at line rate."""
+        return nbytes * 8.0 / self.bandwidth_bps
+
+    def transmit(self, nbytes: int) -> Tuple[Event, Event]:
+        """Queue a frame for transmission.
+
+        Returns ``(sent, delivered)``: ``sent`` fires when the last bit
+        leaves the sender (the link becomes free), ``delivered`` fires one
+        propagation delay later at the receiver.  Calls made while the
+        link is busy are served FIFO.
+        """
+        if nbytes < 0:
+            raise ValueError("cannot transmit a negative number of bytes")
+        now = self.sim.now
+        serialization = self.serialization_time(nbytes)
+        start = max(now, self._free_at)
+        finish = start + serialization
+        self._free_at = finish
+        self.bytes_carried += nbytes
+        self.busy_time += serialization
+        sent = self.sim.timeout(finish - now)
+        delivered = self.sim.timeout(finish + self.latency_s - now)
+        return sent, delivered
+
+    def transmit_cut_through(
+        self, nbytes: int, head_nbytes: int
+    ) -> Tuple[Event, Event]:
+        """Queue a packet train, exposing when its *head* packet lands.
+
+        Returns ``(head_arrived, delivered)``.  ``head_arrived`` fires
+        when the first ``head_nbytes`` reach the far end — the moment a
+        cut-through/pipelined next hop may begin forwarding — and
+        ``delivered`` when the whole train has.  With homogeneous link
+        rates (our topologies) forwarding on head arrival never outruns
+        the incoming stream.
+        """
+        if nbytes < 0:
+            raise ValueError("cannot transmit a negative number of bytes")
+        head_nbytes = min(max(head_nbytes, 0), nbytes)
+        now = self.sim.now
+        serialization = self.serialization_time(nbytes)
+        start = max(now, self._free_at)
+        finish = start + serialization
+        self._free_at = finish
+        self.bytes_carried += nbytes
+        self.busy_time += serialization
+        head_arrival = start + self.serialization_time(head_nbytes) + self.latency_s
+        head_arrived = self.sim.timeout(head_arrival - now)
+        delivered = self.sim.timeout(finish + self.latency_s - now)
+        return head_arrived, delivered
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` the link spent busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        gbps = self.bandwidth_bps / 1e9
+        return f"Link({self.name or 'anon'}, {gbps:g} Gb/s, {self.latency_s*1e6:g} us)"

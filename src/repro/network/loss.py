@@ -1,0 +1,70 @@
+"""Packet loss and retransmission modeling.
+
+The baseline simulator assumes a lossless fabric (a fine assumption for
+a healthy single-switch 10 GbE cluster, and what the paper's numbers
+reflect).  For robustness studies we add Bernoulli per-train loss on
+links plus a go-back-style retransmission layer with an RTO, so the
+benches can ask how much loss the two algorithms tolerate before their
+ordering changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LossModel:
+    """Bernoulli train-loss configuration for a link."""
+
+    drop_probability: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_probability < 1.0:
+            raise ValueError(
+                f"drop probability must be in [0, 1), got {self.drop_probability}"
+            )
+
+
+class LossyLinkMixin:
+    """Deterministic drop decisions for a link (keyed by its own RNG)."""
+
+    def __init__(self, loss: Optional[LossModel]) -> None:
+        self._loss = loss
+        self._rng = (
+            np.random.default_rng(loss.seed) if loss is not None else None
+        )
+        self.trains_dropped = 0
+
+    def should_drop(self) -> bool:
+        if self._loss is None or self._loss.drop_probability == 0.0:
+            return False
+        dropped = bool(self._rng.random() < self._loss.drop_probability)
+        if dropped:
+            self.trains_dropped += 1
+        return dropped
+
+
+@dataclass(frozen=True)
+class RetransmitPolicy:
+    """Sender-side recovery parameters."""
+
+    #: Retransmission timeout: how long after the expected delivery time
+    #: the sender waits before resending a lost train.
+    rto_s: float = 200e-6
+    #: Give up after this many attempts (None = retry forever).
+    max_attempts: Optional[int] = 16
+
+    def __post_init__(self) -> None:
+        if self.rto_s <= 0:
+            raise ValueError("RTO must be positive")
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+
+
+class DeliveryFailure(RuntimeError):
+    """A train exhausted its retransmission budget."""

@@ -1,0 +1,112 @@
+"""TCP/IP-style packets with the ToS compression marker (paper Sec. VI-B).
+
+The INCEPTIONN software stack marks compressible TCP streams by setting
+the IP header's Type-of-Service byte to the reserved value ``0x28``;
+the NIC's comparator classifies packets on that field.  We model exactly
+the fields that behaviour depends on: ToS, header size, payload bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+#: The reserved ToS value marking a packet for NIC (de)compression.
+TOS_COMPRESS = 0x28
+#: ToS for ordinary traffic.
+TOS_DEFAULT = 0x00
+
+#: Ethernet (14) + IPv4 (20) + TCP (20) header bytes.
+HEADER_BYTES = 54
+#: Standard Ethernet MTU payload budget after IP+TCP headers.
+DEFAULT_MSS = 1460
+
+
+@dataclass
+class Packet:
+    """One simulated TCP/IP packet.
+
+    ``payload`` may carry real bytes (when the hardware model processes
+    them bit-exactly) or be ``None`` with only ``payload_nbytes`` set
+    (when only timing matters and materializing hundreds of megabytes
+    would be wasteful).
+    """
+
+    src: int
+    dst: int
+    seq: int = 0
+    tos: int = TOS_DEFAULT
+    payload: Optional[bytes] = None
+    payload_nbytes: int = 0
+    #: Opaque reference travelling with the packet (e.g. a gradient block).
+    context: object = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.payload is not None:
+            actual = len(self.payload)
+            if self.payload_nbytes and self.payload_nbytes != actual:
+                raise ValueError(
+                    f"payload_nbytes={self.payload_nbytes} disagrees with "
+                    f"len(payload)={actual}"
+                )
+            self.payload_nbytes = actual
+        if self.payload_nbytes < 0:
+            raise ValueError("payload size cannot be negative")
+        if not 0 <= self.tos <= 0xFF:
+            raise ValueError(f"ToS must fit one byte, got {self.tos:#x}")
+
+    @property
+    def wire_nbytes(self) -> int:
+        """Total bytes on the wire (headers + payload)."""
+        return HEADER_BYTES + self.payload_nbytes
+
+    @property
+    def compressible(self) -> bool:
+        """True when the NIC should run this packet through the engines."""
+        return self.tos == TOS_COMPRESS
+
+
+def segment_bytes(
+    data: bytes,
+    src: int,
+    dst: int,
+    tos: int = TOS_DEFAULT,
+    mss: int = DEFAULT_MSS,
+) -> List[Packet]:
+    """Split a byte string into MSS-sized packets (TCP segmentation)."""
+    if mss <= 0:
+        raise ValueError("mss must be positive")
+    packets = [
+        Packet(src=src, dst=dst, seq=seq, tos=tos, payload=data[off : off + mss])
+        for seq, off in enumerate(range(0, len(data), mss))
+    ]
+    if not packets:  # zero-length send still emits one empty packet
+        packets = [Packet(src=src, dst=dst, seq=0, tos=tos, payload=b"")]
+    return packets
+
+
+def segment_size(
+    nbytes: int,
+    src: int,
+    dst: int,
+    tos: int = TOS_DEFAULT,
+    mss: int = DEFAULT_MSS,
+) -> Iterator[Packet]:
+    """Size-only segmentation for timing simulations (no payload bytes)."""
+    if mss <= 0:
+        raise ValueError("mss must be positive")
+    if nbytes < 0:
+        raise ValueError("nbytes cannot be negative")
+    if nbytes == 0:
+        yield Packet(src=src, dst=dst, seq=0, tos=tos, payload_nbytes=0)
+        return
+    full, rem = divmod(nbytes, mss)
+    for seq in range(full):
+        yield Packet(src=src, dst=dst, seq=seq, tos=tos, payload_nbytes=mss)
+    if rem:
+        yield Packet(src=src, dst=dst, seq=full, tos=tos, payload_nbytes=rem)
+
+
+def packet_count(nbytes: int, mss: int = DEFAULT_MSS) -> int:
+    """Number of packets a message of ``nbytes`` occupies."""
+    return max(1, -(-nbytes // mss))

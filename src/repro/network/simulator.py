@@ -1,0 +1,280 @@
+"""Message-level network simulator gluing topology, links and NIC timing.
+
+Messages are segmented into packet trains; each train is a process that
+store-and-forwards across the route's links, so bandwidth sharing, FIFO
+queueing and pipelining across hops all emerge from the event kernel.
+
+The NIC compression engines influence timing in two ways, mirroring the
+hardware integration of Sec. VI-A:
+
+* compressible payload shrinks on the wire (the caller supplies the
+  compressed byte count measured by the real codec), while the *packet
+  count does not change* — the engine compresses payloads in place, so
+  per-packet header bytes survive compression.  This reproduces the
+  paper's observation that a 15x compression ratio does not yield a 15x
+  communication-time reduction.
+* the engine adds a small pipeline latency per train and caps streaming
+  throughput at its burst rate (256 bits/cycle at 100 MHz = 3.2 GB/s,
+  faster than 10 GbE, hence invisible by default but exposed for
+  ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from .events import Event, Simulation
+from .link import Link
+from .loss import DeliveryFailure, LossModel, RetransmitPolicy
+from .packet import HEADER_BYTES, TOS_COMPRESS, TOS_DEFAULT, packet_count
+from .topology import Route, Topology
+
+#: Engine streaming rate: 256 bits per cycle at 100 MHz.
+ENGINE_THROUGHPUT_BPS = 256 * 100e6 / 8  # bytes/second
+
+
+@dataclass(frozen=True)
+class NicTimingModel:
+    """Timing-relevant NIC parameters (one per node)."""
+
+    #: Whether the in-NIC compression/decompression engines are present.
+    compression: bool = False
+    #: Pipeline fill latency through the engine per packet train.
+    engine_latency_s: float = 1e-6
+    #: Engine streaming throughput on the *uncompressed* side.
+    engine_throughput_bps: float = ENGINE_THROUGHPUT_BPS
+
+
+@dataclass
+class MessageReceipt:
+    """Bookkeeping returned alongside message delivery."""
+
+    src: int
+    dst: int
+    nbytes: int
+    wire_nbytes: int
+    num_packets: int
+    compressed: bool
+    sent_at: float
+    delivered_at: float = field(default=float("nan"))
+
+    @property
+    def duration(self) -> float:
+        return self.delivered_at - self.sent_at
+
+
+class Network:
+    """The cluster fabric: send messages, get delivery events."""
+
+    #: Packets per simulated train; large messages are simulated at this
+    #: granularity to bound event count while preserving pipelining.
+    DEFAULT_TRAIN_PACKETS = 44  # ~64 KB of MSS payload
+
+    def __init__(
+        self,
+        sim: Simulation,
+        topology: Topology,
+        mss: int = 1460,
+        train_packets: int = DEFAULT_TRAIN_PACKETS,
+        nics: Optional[Dict[int, NicTimingModel]] = None,
+        loss: Optional[LossModel] = None,
+        retransmit: Optional[RetransmitPolicy] = None,
+    ) -> None:
+        if mss <= 0 or train_packets <= 0:
+            raise ValueError("mss and train_packets must be positive")
+        self.sim = sim
+        self.topology = topology
+        self.mss = mss
+        self.train_packets = train_packets
+        self.retransmit = retransmit or RetransmitPolicy()
+        if loss is not None:
+            links = getattr(topology, "all_links", lambda: [])()
+            if not links:
+                raise ValueError(
+                    "loss modeling requires a topology exposing all_links()"
+                )
+            for salt, link in enumerate(links):
+                link.attach_loss(loss, salt)
+        self.trains_retransmitted = 0
+        default = NicTimingModel()
+        self.nics: Dict[int, NicTimingModel] = {
+            node: (nics or {}).get(node, default)
+            for node in range(topology.num_nodes)
+        }
+        # Engines are FIFO resources: a busy engine queues later trains,
+        # so a slow engine gates streaming throughput exactly like a
+        # slow link would.  They carry the *uncompressed* byte stream.
+        self._tx_engines: Dict[int, Link] = {}
+        self._rx_engines: Dict[int, Link] = {}
+        for node, nic in self.nics.items():
+            if nic.compression:
+                self._tx_engines[node] = Link(
+                    sim,
+                    nic.engine_throughput_bps * 8,
+                    nic.engine_latency_s,
+                    name=f"n{node}-tx-engine",
+                )
+                self._rx_engines[node] = Link(
+                    sim,
+                    nic.engine_throughput_bps * 8,
+                    nic.engine_latency_s,
+                    name=f"n{node}-rx-engine",
+                )
+        self.total_wire_bytes = 0
+        self.messages_sent = 0
+
+    # -- public API -----------------------------------------------------------
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        tos: int = TOS_DEFAULT,
+        payload: object = None,
+        compressed_nbytes: Optional[int] = None,
+    ) -> Event:
+        """Send ``nbytes`` of application data from ``src`` to ``dst``.
+
+        Returns an event firing at delivery with value
+        ``(payload, receipt)``.  When ``tos == TOS_COMPRESS`` and both
+        endpoint NICs have engines, the wire payload is
+        ``compressed_nbytes`` (defaulting to ``nbytes`` when the caller
+        did not measure it).
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes cannot be negative")
+        if compressed_nbytes is not None and compressed_nbytes < 0:
+            raise ValueError("compressed_nbytes cannot be negative")
+        route = self.topology.route(src, dst)
+        compress = (
+            tos == TOS_COMPRESS
+            and self.nics[src].compression
+            and self.nics[dst].compression
+        )
+        wire_payload = nbytes
+        if compress and compressed_nbytes is not None:
+            wire_payload = compressed_nbytes
+        num_packets = packet_count(nbytes, self.mss)
+        wire_total = num_packets * HEADER_BYTES + wire_payload
+
+        receipt = MessageReceipt(
+            src=src,
+            dst=dst,
+            nbytes=nbytes,
+            wire_nbytes=wire_total,
+            num_packets=num_packets,
+            compressed=compress,
+            sent_at=self.sim.now,
+        )
+        self.total_wire_bytes += wire_total
+        self.messages_sent += 1
+
+        trains = list(self._split_trains(num_packets, wire_payload, nbytes))
+        procs = [
+            self.sim.process(
+                self._train_process(route, wire, raw, compress, src, dst)
+            )
+            for wire, raw in trains
+        ]
+        done = self.sim.event()
+
+        def finish(_: Event) -> None:
+            receipt.delivered_at = self.sim.now
+            done.succeed((payload, receipt))
+
+        self.sim.all_of(procs).add_callback(finish)
+        return done
+
+    # -- internals --------------------------------------------------------------
+
+    def _split_trains(
+        self, num_packets: int, wire_payload: int, raw_payload: int
+    ) -> Iterable:
+        """Divide the message into packet trains with proportional bytes."""
+        trains: List = []
+        remaining_packets = num_packets
+        wire_left, raw_left = wire_payload, raw_payload
+        while remaining_packets > 0:
+            pkts = min(self.train_packets, remaining_packets)
+            frac = pkts / num_packets
+            wire = min(wire_left, round(wire_payload * frac))
+            raw = min(raw_left, round(raw_payload * frac))
+            remaining_packets -= pkts
+            if remaining_packets == 0:  # last train absorbs rounding
+                wire, raw = wire_left, raw_left
+            wire_left -= wire
+            raw_left -= raw
+            trains.append((pkts * HEADER_BYTES + wire, pkts * HEADER_BYTES + raw))
+        return trains
+
+    def _train_process(
+        self,
+        route: Route,
+        wire_bytes: int,
+        raw_bytes: int,
+        compress: bool,
+        src: int,
+        dst: int,
+    ):
+        """Pipeline one packet train through engines and links.
+
+        Stages hand off with virtual cut-through: the next stage starts
+        when the train's head packet arrives, not when the whole train
+        has been stored — so results do not depend on the simulation's
+        train granularity.  The final stage completes store-and-forward
+        (delivery means the last byte arrived).
+        """
+        head_wire = min(wire_bytes, HEADER_BYTES + self.mss)
+        head_raw = min(raw_bytes, HEADER_BYTES + self.mss)
+
+        # (resource, bytes, head bytes, post-stage delay)
+        stages = []
+        if compress:
+            stages.append((self._tx_engines[src], raw_bytes, head_raw, 0.0))
+        last_hop = len(route.links) - 1
+        for hop, link in enumerate(route.links):
+            delay = route.forwarding_delay_s if hop < last_hop else 0.0
+            stages.append((link, wire_bytes, head_wire, delay))
+        if compress:
+            stages.append((self._rx_engines[dst], raw_bytes, head_raw, 0.0))
+
+        attempts = 0
+        while True:
+            attempts += 1
+            dropped = False
+            for index, (resource, nbytes, head, post_delay) in enumerate(stages):
+                drop_here = resource.should_drop()
+                head_arrived, delivered = resource.transmit_cut_through(
+                    nbytes, head
+                )
+                if drop_here:
+                    # The wire time is spent; the loss is discovered at
+                    # the sender one RTO after the expected delivery.
+                    yield delivered
+                    yield self.sim.timeout(self.retransmit.rto_s)
+                    dropped = True
+                    break
+                if index < len(stages) - 1:
+                    yield head_arrived
+                    if post_delay:
+                        yield self.sim.timeout(post_delay)
+                else:
+                    yield delivered
+            if not dropped:
+                return
+            self.trains_retransmitted += 1
+            limit = self.retransmit.max_attempts
+            if limit is not None and attempts >= limit:
+                raise DeliveryFailure(
+                    f"train between nodes {src}->{dst} lost {attempts} times"
+                )
+
+
+def uniform_nics(
+    num_nodes: int, compression: bool, **kwargs
+) -> Dict[int, NicTimingModel]:
+    """Convenience: the same NIC model on every node."""
+    model = NicTimingModel(compression=compression, **kwargs)
+    return {node: model for node in range(num_nodes)}

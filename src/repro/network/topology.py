@@ -1,0 +1,128 @@
+"""Cluster topologies: the switched star used by the paper's testbed.
+
+The evaluation cluster (Sec. VII-C) connects every node to one 10 GbE
+switch (NETGEAR XS712T).  Both the worker-aggregator tree and the
+INCEPTIONN ring run *over the same star*: what differs is the traffic
+pattern, not the cabling.  A direct ring wiring is also provided for
+ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .events import Simulation
+from .link import Link
+
+#: Testbed defaults: 10 GbE links, a few microseconds of port-to-port
+#: latency, store-and-forward forwarding in the switch.
+DEFAULT_BANDWIDTH_BPS = 10e9
+DEFAULT_LINK_LATENCY_S = 2e-6
+DEFAULT_SWITCH_DELAY_S = 1e-6
+
+
+@dataclass(frozen=True)
+class Route:
+    """The ordered links a packet traverses plus per-hop forwarding delay."""
+
+    links: Tuple[Link, ...]
+    forwarding_delay_s: float = 0.0
+
+
+class Topology:
+    """Base class: owns nodes and resolves routes between them."""
+
+    def __init__(self, sim: Simulation, num_nodes: int) -> None:
+        if num_nodes < 2:
+            raise ValueError("a cluster needs at least two nodes")
+        self.sim = sim
+        self.num_nodes = num_nodes
+
+    def route(self, src: int, dst: int) -> Route:
+        raise NotImplementedError
+
+    def _check_endpoints(self, src: int, dst: int) -> None:
+        for node in (src, dst):
+            if not 0 <= node < self.num_nodes:
+                raise ValueError(f"node {node} outside [0, {self.num_nodes})")
+        if src == dst:
+            raise ValueError("src and dst must differ")
+
+
+class SwitchedStar(Topology):
+    """Every node connects to one store-and-forward switch.
+
+    A message src -> dst crosses the src uplink then the dst downlink.
+    Contention appears when several sources target the same destination:
+    their streams queue FIFO on the destination's downlink — the
+    aggregator-bottleneck effect of Fig 15.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        num_nodes: int,
+        bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+        link_latency_s: float = DEFAULT_LINK_LATENCY_S,
+        switch_delay_s: float = DEFAULT_SWITCH_DELAY_S,
+    ) -> None:
+        super().__init__(sim, num_nodes)
+        self.switch_delay_s = switch_delay_s
+        self.uplinks: Dict[int, Link] = {}
+        self.downlinks: Dict[int, Link] = {}
+        for node in range(num_nodes):
+            self.uplinks[node] = Link(
+                sim, bandwidth_bps, link_latency_s, name=f"n{node}->sw"
+            )
+            self.downlinks[node] = Link(
+                sim, bandwidth_bps, link_latency_s, name=f"sw->n{node}"
+            )
+
+    def route(self, src: int, dst: int) -> Route:
+        self._check_endpoints(src, dst)
+        return Route(
+            links=(self.uplinks[src], self.downlinks[dst]),
+            forwarding_delay_s=self.switch_delay_s,
+        )
+
+    def all_links(self) -> List[Link]:
+        """Every link in the fabric (for utilization reports)."""
+        return list(self.uplinks.values()) + list(self.downlinks.values())
+
+
+class DirectRing(Topology):
+    """Nodes wired directly to their ring successor (ablation topology).
+
+    Only neighbor routes exist; the INCEPTIONN algorithm never needs
+    anything else.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        num_nodes: int,
+        bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+        link_latency_s: float = DEFAULT_LINK_LATENCY_S,
+    ) -> None:
+        super().__init__(sim, num_nodes)
+        self.forward: Dict[int, Link] = {
+            node: Link(
+                sim,
+                bandwidth_bps,
+                link_latency_s,
+                name=f"n{node}->n{(node + 1) % num_nodes}",
+            )
+            for node in range(num_nodes)
+        }
+
+    def route(self, src: int, dst: int) -> Route:
+        self._check_endpoints(src, dst)
+        if dst != (src + 1) % self.num_nodes:
+            raise ValueError(
+                f"DirectRing only routes to the successor: {src} -> {dst}"
+            )
+        return Route(links=(self.forward[src],))
+
+    def all_links(self) -> List[Link]:
+        return list(self.forward.values())

@@ -1,0 +1,87 @@
+"""Closed-form gradient-exchange time models (paper Sec. VIII-D).
+
+The paper adopts the collective-communication cost models of Thakur et
+al. [24]:
+
+* worker-aggregator:  ``(1 + log p)·α + (p + log p)·n·β + (p − 1)·n·γ``
+* INCEPTIONN ring:    ``2(p − 1)·α + 2((p − 1)/p)·n·β + ((p − 1)/p)·n·γ``
+
+with ``p`` workers, ``n`` bytes of gradient, ``α`` link latency,
+``β`` per-byte transfer time and ``γ`` per-byte reduction time.  The WA
+expression is linear in ``p`` (the aggregator serializes everything);
+the ring's ``p`` cancels — the scalability claim of Fig 15.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """The α/β/γ of the analytical model."""
+
+    alpha_s: float
+    beta_s_per_byte: float
+    gamma_s_per_byte: float
+
+    @classmethod
+    def from_rates(
+        cls,
+        link_latency_s: float,
+        bandwidth_bps: float,
+        sum_bandwidth_bps: float,
+    ) -> "CostParameters":
+        """Derive β and γ from link and memory rates."""
+        if bandwidth_bps <= 0 or sum_bandwidth_bps <= 0:
+            raise ValueError("rates must be positive")
+        return cls(
+            alpha_s=link_latency_s,
+            beta_s_per_byte=8.0 / bandwidth_bps,
+            gamma_s_per_byte=1.0 / sum_bandwidth_bps,
+        )
+
+
+def _check(num_workers: int, nbytes: float) -> None:
+    if num_workers < 2:
+        raise ValueError("the models are defined for at least two workers")
+    if nbytes < 0:
+        raise ValueError("nbytes cannot be negative")
+
+
+def wa_exchange_time(
+    num_workers: int, nbytes: float, params: CostParameters
+) -> float:
+    """Worker-aggregator gradient-exchange time (gather + sum + scatter)."""
+    _check(num_workers, nbytes)
+    p = num_workers
+    log_p = math.log2(p)
+    return (
+        (1 + log_p) * params.alpha_s
+        + (p + log_p) * nbytes * params.beta_s_per_byte
+        + (p - 1) * nbytes * params.gamma_s_per_byte
+    )
+
+
+def ring_exchange_time(
+    num_workers: int, nbytes: float, params: CostParameters
+) -> float:
+    """INCEPTIONN ring gradient-exchange time (reduce-scatter + all-gather)."""
+    _check(num_workers, nbytes)
+    p = num_workers
+    frac = (p - 1) / p
+    return (
+        2 * (p - 1) * params.alpha_s
+        + 2 * frac * nbytes * params.beta_s_per_byte
+        + frac * nbytes * params.gamma_s_per_byte
+    )
+
+
+def exchange_speedup(
+    num_workers: int, nbytes: float, params: CostParameters
+) -> float:
+    """WA time over ring time — how much the algorithm alone buys."""
+    return wa_exchange_time(num_workers, nbytes, params) / ring_exchange_time(
+        num_workers, nbytes, params
+    )

@@ -1,0 +1,211 @@
+"""Paper-scale gradient-exchange simulation (timing only).
+
+Drives the event-driven network with *sized* messages — no
+multi-hundred-megabyte arrays are materialized — while compression
+ratios come from the real codec run on sampled gradient vectors with
+the model's empirical value distribution.  This is the machinery behind
+Table II, Fig 12 and Fig 15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core import ErrorBound, compression_ratio
+from repro.core.bounds import DEFAULT_BOUND
+from repro.distributed.node import ComputeProfile, ZERO_COMPUTE
+from repro.distributed.ring import ring_exchange_sizes
+from repro.dnn.models import ModelSpec
+from repro.transport.endpoint import ClusterComm, ClusterConfig
+
+#: Sample size for measuring a model's compression ratio; large enough
+#: for the ratio to be stable to three digits.
+RATIO_SAMPLE_VALUES = 1 << 18
+
+
+def measure_compression_ratio(
+    spec: ModelSpec, bound: ErrorBound = DEFAULT_BOUND, seed: int = 0
+) -> float:
+    """Compression ratio of the model's (synthetic) gradients."""
+    rng = np.random.default_rng(seed)
+    sample = spec.synthetic_gradients(rng, size=RATIO_SAMPLE_VALUES)
+    return compression_ratio(sample, bound)
+
+
+@dataclass
+class ExchangeResult:
+    """Timing of a simulated multi-iteration exchange."""
+
+    algorithm: str
+    num_workers: int
+    nbytes: int
+    iterations: int
+    total_s: float
+    gradient_sum_s: float
+    update_s: float
+
+    @property
+    def per_iteration_s(self) -> float:
+        return self.total_s / self.iterations
+
+    @property
+    def communicate_s(self) -> float:
+        """Total time minus the attributed non-communication phases."""
+        return max(0.0, self.total_s - self.gradient_sum_s - self.update_s)
+
+
+def _make_comm(
+    num_nodes: int,
+    bandwidth_bps: float,
+    compression: bool,
+    bound: ErrorBound,
+    train_packets: int,
+) -> ClusterComm:
+    return ClusterComm(
+        ClusterConfig(
+            num_nodes=num_nodes,
+            bandwidth_bps=bandwidth_bps,
+            compression=compression,
+            bound=bound,
+            train_packets=train_packets,
+        )
+    )
+
+
+def simulate_wa_exchange(
+    num_workers: int,
+    nbytes: int,
+    iterations: int = 1,
+    bandwidth_bps: float = 10e9,
+    profile: ComputeProfile = ZERO_COMPUTE,
+    compress_gradients: bool = False,
+    gradient_ratio: Optional[float] = None,
+    bound: ErrorBound = DEFAULT_BOUND,
+    include_local_compute: bool = False,
+    train_packets: int = 4400,
+) -> ExchangeResult:
+    """Worker-aggregator iterations: gather g up, sum, update, scatter w.
+
+    Only the gradient leg may compress (``compress_gradients``); the
+    weight leg is always raw.  ``include_local_compute`` prepends each
+    iteration's forward/backward/copy time (for full-iteration studies
+    like Table II); exchange-only studies (Fig 15) leave it off.
+    """
+    if num_workers < 2:
+        raise ValueError("need at least two workers")
+    aggregator = num_workers
+    comm = _make_comm(
+        num_workers + 1, bandwidth_bps, compress_gradients, bound, train_packets
+    )
+    sums = {"sum_s": 0.0, "update_s": 0.0}
+
+    def worker(i: int):
+        ep = comm.endpoints[i]
+        for _ in range(iterations):
+            if include_local_compute and profile.local_compute_s:
+                yield comm.sim.timeout(profile.local_compute_s)
+            ep.isend_sized(
+                aggregator,
+                nbytes,
+                compressible=compress_gradients,
+                compression_ratio=gradient_ratio,
+            )
+            yield ep.recv(aggregator)
+
+    def agg():
+        ep = comm.endpoints[aggregator]
+        for _ in range(iterations):
+            for count, src in enumerate(range(num_workers)):
+                yield ep.recv(src)
+                if count > 0:
+                    dt = profile.sum_time(nbytes)
+                    sums["sum_s"] += dt
+                    if dt:
+                        yield comm.sim.timeout(dt)
+            if profile.update_s:
+                sums["update_s"] += profile.update_s
+                yield comm.sim.timeout(profile.update_s)
+            events = [
+                ep.isend_sized(dst, nbytes) for dst in range(num_workers)
+            ]
+            yield comm.sim.all_of(events)
+
+    for i in range(num_workers):
+        comm.sim.process(worker(i))
+    comm.sim.process(agg())
+    total = comm.run()
+    return ExchangeResult(
+        algorithm="wa",
+        num_workers=num_workers,
+        nbytes=nbytes,
+        iterations=iterations,
+        total_s=total,
+        gradient_sum_s=sums["sum_s"],
+        update_s=sums["update_s"],
+    )
+
+
+def simulate_ring_exchange(
+    num_workers: int,
+    nbytes: int,
+    iterations: int = 1,
+    bandwidth_bps: float = 10e9,
+    profile: ComputeProfile = ZERO_COMPUTE,
+    compress_gradients: bool = False,
+    gradient_ratio: Optional[float] = None,
+    bound: ErrorBound = DEFAULT_BOUND,
+    include_local_compute: bool = False,
+    train_packets: int = 4400,
+) -> ExchangeResult:
+    """INCEPTIONN ring iterations at paper scale (both legs compressible)."""
+    if num_workers < 2:
+        raise ValueError("need at least two workers")
+    comm = _make_comm(
+        num_workers, bandwidth_bps, compress_gradients, bound, train_packets
+    )
+    block_bytes = [s * 4 for s in ring_exchange_sizes(num_workers, nbytes // 4)]
+    sums = {"sum_s": 0.0, "update_s": 0.0}
+
+    def worker(i: int):
+        ep = comm.endpoints[i]
+        n = num_workers
+        successor, predecessor = (i + 1) % n, (i - 1) % n
+        for _ in range(iterations):
+            if include_local_compute and profile.local_compute_s:
+                yield comm.sim.timeout(profile.local_compute_s)
+            for step in range(1, 2 * n - 1):
+                send_idx = (i - step + 1) % n
+                recv_idx = (i - step) % n
+                ep.isend_sized(
+                    successor,
+                    block_bytes[send_idx],
+                    compressible=compress_gradients,
+                    compression_ratio=gradient_ratio,
+                )
+                yield ep.recv(predecessor)
+                if step < n:
+                    dt = profile.sum_time(block_bytes[recv_idx])
+                    if i == 0:
+                        sums["sum_s"] += dt
+                    if dt:
+                        yield comm.sim.timeout(dt)
+            if profile.update_s:
+                if i == 0:
+                    sums["update_s"] += profile.update_s
+                yield comm.sim.timeout(profile.update_s)
+
+    for i in range(num_workers):
+        comm.sim.process(worker(i))
+    total = comm.run()
+    return ExchangeResult(
+        algorithm="ring",
+        num_workers=num_workers,
+        nbytes=nbytes,
+        iterations=iterations,
+        total_s=total,
+        gradient_sum_s=sums["sum_s"],
+        update_s=sums["update_s"],
+    )

@@ -1,0 +1,111 @@
+"""Programmatic experiment reports (JSON-friendly).
+
+The benches print human tables; downstream tooling often wants the same
+numbers as data.  ``full_report`` runs the key paper experiments at a
+configurable scale and returns one nested dict, which the CLI-adjacent
+script ``tools/regenerate_report.py`` serializes to JSON.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core import ErrorBound, bitwidth_distribution, compression_ratio
+from repro.dnn import PAPER_MODELS
+from repro.perfmodel import (
+    CONFIGURATIONS,
+    equal_accuracy_speedup,
+    fig12_estimates,
+    simulate_ring_exchange,
+    simulate_wa_exchange,
+    simulated_breakdown,
+)
+
+#: Models used in the timing experiments.
+TIMING_MODELS = ("AlexNet", "HDC", "ResNet-50", "VGG-16")
+
+
+def fig12_report(num_workers: int = 4) -> Dict:
+    """Normalized training time per configuration per model."""
+    out: Dict = {}
+    for model in TIMING_MODELS:
+        est = fig12_estimates(model, num_workers=num_workers)
+        base = est["WA"].iteration_s
+        out[model] = {
+            conf: est[conf].iteration_s / base for conf in CONFIGURATIONS
+        }
+    return out
+
+
+def fig13_report() -> Dict:
+    """Equal-accuracy speedups."""
+    return {
+        model: {
+            "speedup": equal_accuracy_speedup(model).speedup,
+            "wa_epochs": equal_accuracy_speedup(model).wa_epochs,
+            "inc_epochs": equal_accuracy_speedup(model).inc_epochs,
+        }
+        for model in TIMING_MODELS
+    }
+
+
+def fig15_report(node_counts=(4, 6, 8)) -> Dict:
+    """Gradient-exchange scaling, normalized to 4-node WA."""
+    out: Dict = {}
+    for model in TIMING_MODELS:
+        nbytes = PAPER_MODELS[model].nbytes
+        base = simulate_wa_exchange(node_counts[0], nbytes).total_s
+        out[model] = {
+            "WA": {
+                p: simulate_wa_exchange(p, nbytes).total_s / base
+                for p in node_counts
+            },
+            "INC": {
+                p: simulate_ring_exchange(p, nbytes).total_s / base
+                for p in node_counts
+            },
+        }
+    return out
+
+
+def table2_report(iterations: int = 5) -> Dict:
+    """Simulated Table II breakdown fractions."""
+    out: Dict = {}
+    for model in TIMING_MODELS:
+        bd = simulated_breakdown(model, iterations=iterations)
+        out[model] = bd.normalized()
+    return out
+
+
+def table3_report(sample: int = 1 << 17, seed: int = 42) -> Dict:
+    """Bitwidth distributions of shell-model gradients."""
+    rng = np.random.default_rng(seed)
+    out: Dict = {}
+    for model in TIMING_MODELS:
+        grads = PAPER_MODELS[model].synthetic_gradients(rng, size=sample)
+        out[model] = {
+            f"2^-{b}": {
+                "classes": {
+                    k: float(v)
+                    for k, v in bitwidth_distribution(
+                        grads, ErrorBound(b)
+                    ).as_row.items()
+                },
+                "ratio": compression_ratio(grads, ErrorBound(b)),
+            }
+            for b in (10, 8, 6)
+        }
+    return out
+
+
+def full_report(num_workers: int = 4, table2_iterations: int = 5) -> Dict:
+    """Every timing/statistics experiment as one nested dict."""
+    return {
+        "fig12_normalized_time": fig12_report(num_workers),
+        "fig13_speedup": fig13_report(),
+        "fig15_scaling": fig15_report(),
+        "table2_fractions": table2_report(table2_iterations),
+        "table3_bitwidths": table3_report(),
+    }

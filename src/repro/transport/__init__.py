@@ -1,0 +1,20 @@
+"""Transport layer: endpoints, collectives, ToS tagging over the simulator."""
+
+from .collectives import (
+    broadcast_from_root,
+    recv_from,
+    reduce_to_root,
+    send_to,
+)
+from .endpoint import ClusterComm, ClusterConfig, Endpoint, TransferLog
+
+__all__ = [
+    "broadcast_from_root",
+    "recv_from",
+    "reduce_to_root",
+    "send_to",
+    "ClusterComm",
+    "ClusterConfig",
+    "Endpoint",
+    "TransferLog",
+]

@@ -1,0 +1,80 @@
+"""MPI-style collective fragments used by the distributed algorithms.
+
+Each helper is a generator meant to be ``yield from``-ed inside a node's
+simulation process — the moral equivalent of calling an OpenMPI
+collective from the training loop.  The ``compressible`` flag is the
+reproduction of the paper's ``MPI_collective_communication_comp`` APIs:
+it tags the underlying streams with ToS 0x28.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .endpoint import Endpoint
+
+
+def send_to(
+    ep: Endpoint, dst: int, array: np.ndarray, compressible: bool = False
+):
+    """Blocking send (waits until delivered)."""
+    yield ep.isend(dst, array, compressible=compressible)
+
+
+def recv_from(ep: Endpoint, src: int):
+    """Blocking receive; the generator's return value is the array."""
+    array = yield ep.recv(src)
+    return array
+
+
+def reduce_to_root(
+    ep: Endpoint,
+    root: int,
+    vector: np.ndarray,
+    sources: Optional[Iterable[int]] = None,
+    compressible: bool = False,
+):
+    """Sum-reduce vectors onto ``root`` (the aggregator's gather leg).
+
+    Non-root nodes send their vector and return ``None``; the root
+    receives one vector per source and returns the running sum
+    (including its own contribution, when it has one).
+    """
+    if ep.node_id != root:
+        yield ep.isend(root, vector, compressible=compressible)
+        return None
+    total = np.array(vector, dtype=np.float32, copy=True)
+    srcs = list(sources if sources is not None else [])
+    for src in srcs:
+        received = yield ep.recv(src)
+        total = total + received
+    return total
+
+
+def broadcast_from_root(
+    ep: Endpoint,
+    root: int,
+    vector: Optional[np.ndarray],
+    destinations: Optional[Iterable[int]] = None,
+    compressible: bool = False,
+):
+    """Root sends ``vector`` to every destination; others receive it."""
+    if ep.node_id == root:
+        if vector is None:
+            raise ValueError("root must supply the vector to broadcast")
+        events = [
+            ep.isend(dst, vector, compressible=compressible)
+            for dst in destinations or []
+        ]
+        if events:
+            yield ep.comm.sim.all_of(events)
+        return vector
+    received = yield ep.recv(root)
+    return received
+
+
+def barrier_sum(values: List[float]) -> float:
+    """Tiny helper for loss averaging in tests/examples."""
+    return float(np.sum(values))

@@ -1,0 +1,250 @@
+"""Message-passing endpoints over the simulated network.
+
+This is the reproduction of the paper's software stack (Fig 11): an
+OpenMPI-like layer whose ``collec_comm_comp`` APIs set the socket ToS to
+0x28 so the NIC engines pick the stream up.  Endpoints move real NumPy
+arrays between simulated nodes: the *values* a receiver observes are the
+values the codec reconstructs (lossy when compression is on), and the
+*bytes* the network simulator clocks are the codec's measured compressed
+sizes — the functional and timing domains stay coupled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core import ErrorBound, compress, decompress
+from repro.core.bounds import DEFAULT_BOUND
+from repro.hardware.timing import engine_latency_s, engine_throughput_bps
+from repro.network import (
+    Event,
+    Network,
+    NicTimingModel,
+    Simulation,
+    Store,
+    SwitchedStar,
+    TOS_COMPRESS,
+    TOS_DEFAULT,
+)
+from repro.network.topology import DEFAULT_BANDWIDTH_BPS
+
+
+@dataclass
+class TransferLog:
+    """Per-message record kept by the cluster for experiment reporting."""
+
+    src: int
+    dst: int
+    nbytes: int
+    wire_payload_nbytes: int
+    compressed: bool
+    sent_at: float
+
+
+@dataclass
+class ClusterConfig:
+    """Knobs of a simulated training cluster's communication plane."""
+
+    num_nodes: int
+    bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS
+    compression: bool = False
+    bound: ErrorBound = DEFAULT_BOUND
+    engine_blocks: int = 8
+    engine_clock_hz: float = 100e6
+    link_latency_s: float = 2e-6
+    switch_delay_s: float = 1e-6
+    mss: int = 1460
+    train_packets: int = 44
+
+
+class ClusterComm:
+    """A simulated cluster's communication fabric with one endpoint per node."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        self.sim = Simulation()
+        self.topology = SwitchedStar(
+            self.sim,
+            config.num_nodes,
+            bandwidth_bps=config.bandwidth_bps,
+            link_latency_s=config.link_latency_s,
+            switch_delay_s=config.switch_delay_s,
+        )
+        nic = NicTimingModel(
+            compression=config.compression,
+            engine_latency_s=engine_latency_s(config.engine_clock_hz),
+            engine_throughput_bps=engine_throughput_bps(
+                config.engine_blocks, config.engine_clock_hz
+            ),
+        )
+        self.network = Network(
+            self.sim,
+            self.topology,
+            mss=config.mss,
+            train_packets=config.train_packets,
+            nics={node: nic for node in range(config.num_nodes)},
+        )
+        self.endpoints: List[Endpoint] = [
+            Endpoint(self, node) for node in range(config.num_nodes)
+        ]
+        self.transfers: List[TransferLog] = []
+
+    @property
+    def num_nodes(self) -> int:
+        return self.config.num_nodes
+
+    def compression_active(self) -> bool:
+        """Engines present on (all) NICs?"""
+        return self.config.compression
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drive the simulation; returns the final virtual time."""
+        return self.sim.run(until=until)
+
+
+class Endpoint:
+    """One node's send/recv interface.
+
+    Two receive styles exist: ``recv(src)`` (per-source FIFOs, used by
+    the synchronous algorithms) and ``recv_any()`` (one shared FIFO,
+    used by the asynchronous parameter server).  A delivery lands in
+    exactly one of them, selected by the receiver's ``promiscuous``
+    flag — mixing both styles on one endpoint is not supported.
+    """
+
+    def __init__(self, comm: ClusterComm, node_id: int) -> None:
+        self.comm = comm
+        self.node_id = node_id
+        self._inboxes: Dict[int, Store] = {}
+        self._any_inbox: Optional[Store] = None
+        #: When True, deliveries go to the shared recv_any() queue.
+        self.promiscuous = False
+
+    def _inbox(self, src: int) -> Store:
+        if self.promiscuous:
+            return self._any_queue()
+        if src not in self._inboxes:
+            self._inboxes[src] = Store(self.comm.sim)
+        return self._inboxes[src]
+
+    def _any_queue(self) -> Store:
+        if self._any_inbox is None:
+            self._any_inbox = Store(self.comm.sim)
+        return self._any_inbox
+
+    def _deliver(self, src: int, payload: object) -> None:
+        if self.promiscuous:
+            self._any_queue().put((src, payload))
+        else:
+            self._inbox(src).put(payload)
+
+    def isend(
+        self, dst: int, array: np.ndarray, compressible: bool = False
+    ) -> Event:
+        """Non-blocking send; returns the delivery event.
+
+        With ``compressible=True`` and engines present, the array is
+        passed through the real codec: the receiver sees the lossy
+        reconstruction and the wire carries the measured compressed
+        bytes under ToS 0x28.
+        """
+        arr = np.ascontiguousarray(array, dtype=np.float32)
+        tos = TOS_DEFAULT
+        wire_payload = arr.nbytes
+        compressed_nbytes = None
+        deliver = arr
+        if compressible and self.comm.compression_active():
+            tos = TOS_COMPRESS
+            cg = compress(arr.reshape(-1), self.comm.config.bound)
+            compressed_nbytes = cg.compressed_nbytes
+            wire_payload = compressed_nbytes
+            deliver = decompress(cg).reshape(arr.shape)
+        self.comm.transfers.append(
+            TransferLog(
+                src=self.node_id,
+                dst=dst,
+                nbytes=arr.nbytes,
+                wire_payload_nbytes=wire_payload,
+                compressed=compressed_nbytes is not None,
+                sent_at=self.comm.sim.now,
+            )
+        )
+        event = self.comm.network.send(
+            self.node_id,
+            dst,
+            arr.nbytes,
+            tos=tos,
+            payload=deliver,
+            compressed_nbytes=compressed_nbytes,
+        )
+        receiver = self.comm.endpoints[dst]
+        event.add_callback(
+            lambda ev: receiver._deliver(self.node_id, ev.value[0])
+        )
+        return event
+
+    def isend_sized(
+        self,
+        dst: int,
+        nbytes: int,
+        compressible: bool = False,
+        compression_ratio: Optional[float] = None,
+    ) -> Event:
+        """Timing-only send: bytes move, no array is materialized.
+
+        Paper-scale experiments (hundreds of MB per message) use this
+        path with a compression ratio measured on sampled gradients, so
+        the wire timing stays faithful without allocating the payload.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes cannot be negative")
+        tos = TOS_DEFAULT
+        compressed_nbytes = None
+        wire_payload = nbytes
+        if compressible and self.comm.compression_active():
+            tos = TOS_COMPRESS
+            ratio = compression_ratio if compression_ratio else 1.0
+            if ratio < 1.0:
+                raise ValueError("compression ratio cannot be below 1")
+            compressed_nbytes = int(round(nbytes / ratio))
+            wire_payload = compressed_nbytes
+        self.comm.transfers.append(
+            TransferLog(
+                src=self.node_id,
+                dst=dst,
+                nbytes=nbytes,
+                wire_payload_nbytes=wire_payload,
+                compressed=compressed_nbytes is not None,
+                sent_at=self.comm.sim.now,
+            )
+        )
+        event = self.comm.network.send(
+            self.node_id,
+            dst,
+            nbytes,
+            tos=tos,
+            payload=None,
+            compressed_nbytes=compressed_nbytes,
+        )
+        receiver = self.comm.endpoints[dst]
+        event.add_callback(lambda ev: receiver._deliver(self.node_id, nbytes))
+        return event
+
+    def recv(self, src: int) -> Event:
+        """Event yielding the next array sent by ``src`` to this node."""
+        if self.promiscuous:
+            raise RuntimeError("promiscuous endpoints must use recv_any()")
+        return self._inbox(src).get()
+
+    def recv_any(self) -> Event:
+        """Event yielding ``(src, payload)`` for the next arrival.
+
+        Requires ``promiscuous = True`` *before* any message is sent to
+        this endpoint.
+        """
+        if not self.promiscuous:
+            raise RuntimeError("set promiscuous = True before using recv_any()")
+        return self._any_queue().get()

@@ -1,0 +1,62 @@
+"""Software compression cost model tests (Fig 7 logic)."""
+
+import pytest
+
+from repro.baselines import (
+    SOFTWARE_CODECS,
+    baseline_training_time,
+    software_training_time,
+)
+
+
+def test_codecs_present():
+    assert {"snappy", "sz", "truncation"} <= set(SOFTWARE_CODECS)
+
+
+def test_roundtrip_time_additive():
+    codec = SOFTWARE_CODECS["snappy"]
+    n = 100 * 2**20
+    assert codec.roundtrip_time(n) == pytest.approx(
+        codec.compression_time(n) + codec.decompression_time(n)
+    )
+
+
+def test_software_compression_slows_comm_bound_training():
+    # Fig 7's finding: software compression increases total time for
+    # large models despite reducing communication.
+    compute, comm = 0.4, 1.5  # AlexNet-like seconds per iteration
+    nbytes = 233 * 2**20
+    base = baseline_training_time(compute, comm)
+    for name in ("snappy", "sz"):
+        with_sw = software_training_time(compute, comm, nbytes, SOFTWARE_CODECS[name])
+        assert with_sw > base
+
+
+def test_truncation_in_software_barely_helps():
+    compute, comm = 0.4, 1.5
+    nbytes = 233 * 2**20
+    base = baseline_training_time(compute, comm)
+    trunc = software_training_time(
+        compute, comm, nbytes, SOFTWARE_CODECS["truncation"]
+    )
+    # Only slightly different from baseline either way (paper Fig 7).
+    assert abs(trunc - base) / base < 0.5
+
+
+def test_tiny_models_unaffected():
+    compute, comm = 0.0005, 0.013  # HDC-like
+    nbytes = int(2.5 * 2**20)
+    base = baseline_training_time(compute, comm)
+    sw = software_training_time(compute, comm, nbytes, SOFTWARE_CODECS["snappy"])
+    # Absolute penalty is small for tiny models.
+    assert sw < base + 0.05
+
+
+def test_negative_inputs_rejected():
+    codec = SOFTWARE_CODECS["snappy"]
+    with pytest.raises(ValueError):
+        codec.compression_time(-1)
+    with pytest.raises(ValueError):
+        baseline_training_time(-1, 0)
+    with pytest.raises(ValueError):
+        software_training_time(0, -1, 100, codec)

@@ -1,0 +1,65 @@
+"""BitWriter/BitReader unit tests."""
+
+import pytest
+
+from repro.core.bitstream import BitReader, BitWriter
+
+
+def test_single_byte():
+    w = BitWriter()
+    w.write(0b101, 3)
+    w.write(0b11, 2)
+    assert w.bit_length == 5
+    data = w.getvalue()
+    assert data == bytes([0b11101])
+
+
+def test_crossing_byte_boundary():
+    w = BitWriter()
+    w.write(0x1FF, 9)
+    data = w.getvalue()
+    r = BitReader(data)
+    assert r.read(9) == 0x1FF
+
+
+def test_mixed_widths_roundtrip():
+    fields = [(5, 3), (0, 0), (1023, 10), (1, 1), (0xDEADBEEF, 32), (7, 16)]
+    w = BitWriter()
+    for value, nbits in fields:
+        w.write(value, nbits)
+    r = BitReader(w.getvalue())
+    for value, nbits in fields:
+        assert r.read(nbits) == value
+
+
+def test_value_masked_to_width():
+    w = BitWriter()
+    w.write(0xFF, 4)
+    r = BitReader(w.getvalue())
+    assert r.read(4) == 0xF
+
+
+def test_read_past_end_raises():
+    r = BitReader(b"\x01")
+    r.read(8)
+    with pytest.raises(EOFError):
+        r.read(1)
+
+
+def test_zero_bit_read_returns_zero():
+    r = BitReader(b"")
+    assert r.read(0) == 0
+
+
+def test_negative_widths_rejected():
+    with pytest.raises(ValueError):
+        BitWriter().write(1, -1)
+    with pytest.raises(ValueError):
+        BitReader(b"\x00").read(-2)
+
+
+def test_bits_remaining():
+    r = BitReader(bytes(4))
+    assert r.bits_remaining == 32
+    r.read(5)
+    assert r.bits_remaining == 27

@@ -1,0 +1,55 @@
+"""Unit tests for error-bound configuration."""
+
+import pytest
+
+from repro.core import ErrorBound, PAPER_BOUNDS
+
+
+def test_bound_value():
+    assert ErrorBound(10).bound == 2.0**-10
+    assert ErrorBound(6).bound == 2.0**-6
+
+
+def test_paper_bounds_are_the_three_evaluated():
+    assert [b.exponent for b in PAPER_BOUNDS] == [10, 8, 6]
+
+
+def test_zero_threshold_excludes_values_below_bound():
+    bound = ErrorBound(10)
+    # 2^-10 has biased exponent 117; anything below encodes to zero.
+    assert bound.zero_exponent_threshold == 117
+
+
+def test_bit8_threshold_is_seven_above_zero_threshold():
+    bound = ErrorBound(8)
+    assert bound.bit8_exponent_threshold - bound.zero_exponent_threshold == 7
+
+
+def test_from_bound_roundtrip():
+    for exp in (1, 6, 8, 10, 15):
+        assert ErrorBound.from_bound(2.0**-exp) == ErrorBound(exp)
+
+
+def test_from_bound_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        ErrorBound.from_bound(0.001)
+
+
+def test_from_bound_rejects_negative():
+    with pytest.raises(ValueError):
+        ErrorBound.from_bound(-0.25)
+
+
+@pytest.mark.parametrize("exp", [0, -3, 16, 100])
+def test_exponent_out_of_range_rejected(exp):
+    with pytest.raises(ValueError):
+        ErrorBound(exp)
+
+
+def test_bit8_scale_equals_bound():
+    bound = ErrorBound(6)
+    assert bound.bit8_scale == bound.bound
+
+
+def test_str_rendering():
+    assert str(ErrorBound(10)) == "2^-10"

@@ -1,0 +1,116 @@
+"""Vectorized codec tests, including equivalence with the scalar reference."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ErrorBound,
+    TAG_NO_COMPRESS,
+    TAG_ZERO,
+    classify,
+    compress,
+    compressed_nbits,
+    decompress,
+    roundtrip,
+)
+from repro.core.reference import compress_value, decompress_value
+
+
+def _sample_gradients(n=4096, scale=0.3, seed=0):
+    rng = np.random.default_rng(seed)
+    return (rng.standard_normal(n) * scale).astype(np.float32)
+
+
+@pytest.mark.parametrize("exp", [6, 8, 10])
+def test_matches_scalar_reference(exp):
+    bound = ErrorBound(exp)
+    values = _sample_gradients(2000, seed=exp)
+    # Mix in boundary-ish values.
+    extras = np.array(
+        [0.0, -0.0, 1.0, -1.0, 2.0**-exp, -(2.0**-exp), 0.999, 5e-42, 1e30],
+        dtype=np.float32,
+    )
+    values = np.concatenate([values, extras])
+    cg = compress(values, bound)
+    for i, value in enumerate(values):
+        tag, payload = compress_value(float(value), bound)
+        assert cg.tags[i] == tag, (i, value)
+        assert cg.payloads[i] == payload, (i, value)
+
+
+@pytest.mark.parametrize("exp", [6, 8, 10])
+def test_decompress_matches_scalar_reference(exp):
+    bound = ErrorBound(exp)
+    values = _sample_gradients(2000, seed=exp + 100)
+    cg = compress(values, bound)
+    recon = decompress(cg)
+    for i in range(len(values)):
+        expected = decompress_value(int(cg.tags[i]), int(cg.payloads[i]), bound)
+        assert recon[i] == np.float32(expected)
+
+
+def test_roundtrip_error_bound_vectorized():
+    bound = ErrorBound(10)
+    values = _sample_gradients(100_000, scale=0.2)
+    recon = roundtrip(values, bound)
+    inside = np.abs(values) < 1.0
+    assert np.max(np.abs(values[inside] - recon[inside])) < bound.bound
+    assert np.array_equal(values[~inside], recon[~inside])
+
+
+def test_roundtrip_preserves_shape():
+    bound = ErrorBound(8)
+    values = _sample_gradients(600).reshape(20, 30)
+    recon = roundtrip(values, bound)
+    assert recon.shape == (20, 30)
+
+
+def test_classify_extremes():
+    bound = ErrorBound(10)
+    values = np.array([0.0, np.inf, -np.inf, np.nan, 1e-40], dtype=np.float32)
+    tags = classify(values, bound)
+    assert tags[0] == TAG_ZERO
+    assert tags[1] == TAG_NO_COMPRESS
+    assert tags[2] == TAG_NO_COMPRESS
+    assert tags[3] == TAG_NO_COMPRESS
+    assert tags[4] == TAG_ZERO
+
+
+def test_nan_and_inf_survive_roundtrip():
+    bound = ErrorBound(10)
+    values = np.array([np.nan, np.inf, -np.inf], dtype=np.float32)
+    recon = roundtrip(values, bound)
+    assert np.isnan(recon[0])
+    assert recon[1] == np.inf
+    assert recon[2] == -np.inf
+
+
+def test_empty_vector():
+    bound = ErrorBound(10)
+    cg = compress(np.array([], dtype=np.float32), bound)
+    assert len(cg) == 0
+    assert decompress(cg).shape == (0,)
+    assert cg.compression_ratio == 1.0
+
+
+def test_compressed_nbits_matches_container():
+    bound = ErrorBound(10)
+    values = _sample_gradients(1000)
+    cg = compress(values, bound)
+    assert compressed_nbits(values, bound) == cg.compressed_bits
+
+
+def test_all_zero_vector_hits_maximum_ratio():
+    bound = ErrorBound(10)
+    values = np.zeros(8000, dtype=np.float32)
+    cg = compress(values, bound)
+    # 2 bits per value out of 32 -> exactly 16x.
+    assert cg.compression_ratio == pytest.approx(16.0)
+
+
+def test_accepts_float64_input():
+    bound = ErrorBound(10)
+    values = np.array([0.5, 0.001, 2.0], dtype=np.float64)
+    recon = roundtrip(values, bound)
+    assert abs(recon[0] - 0.5) < bound.bound
+    assert recon[2] == 2.0

@@ -1,0 +1,83 @@
+"""Tests for the .incgrad on-disk format."""
+
+import numpy as np
+import pytest
+
+from repro.core import ErrorBound, compress
+from repro.core.gradient_file import (
+    GradientFileError,
+    dump_bytes,
+    load,
+    load_bytes,
+    save,
+)
+
+BOUND = ErrorBound(10)
+
+
+def _grads(n=5000, seed=0):
+    rng = np.random.default_rng(seed)
+    return (rng.standard_normal(n) * 0.05).astype(np.float32)
+
+
+def test_bytes_roundtrip():
+    values = _grads()
+    cg = compress(values, BOUND)
+    back = load_bytes(dump_bytes(cg))
+    np.testing.assert_array_equal(back.tags, cg.tags)
+    np.testing.assert_array_equal(back.payloads, cg.payloads)
+    assert back.bound == BOUND
+
+
+def test_file_roundtrip(tmp_path):
+    values = _grads(seed=1)
+    path = tmp_path / "trace.incgrad"
+    written = save(path, values, BOUND)
+    assert path.stat().st_size == written
+    restored = load(path)
+    assert np.max(np.abs(restored - values)) < BOUND.bound
+
+
+def test_file_smaller_than_raw(tmp_path):
+    values = np.zeros(100_000, dtype=np.float32)
+    path = tmp_path / "zeros.incgrad"
+    written = save(path, values, BOUND)
+    assert written < values.nbytes / 10
+
+
+def test_bad_magic_rejected():
+    blob = dump_bytes(compress(_grads(100), BOUND))
+    with pytest.raises(GradientFileError):
+        load_bytes(b"NOTAGRAD" + blob[8:])
+
+
+def test_truncated_header_rejected():
+    with pytest.raises(GradientFileError):
+        load_bytes(b"INCGRAD1")
+
+
+def test_truncated_stream_rejected():
+    blob = dump_bytes(compress(_grads(1000), BOUND))
+    with pytest.raises(GradientFileError):
+        load_bytes(blob[:-10])
+
+
+def test_bad_exponent_rejected():
+    blob = bytearray(dump_bytes(compress(_grads(8), BOUND)))
+    blob[8] = 99  # invalid bound exponent
+    with pytest.raises(GradientFileError):
+        load_bytes(bytes(blob))
+
+
+def test_empty_vector(tmp_path):
+    path = tmp_path / "empty.incgrad"
+    save(path, np.array([], dtype=np.float32), BOUND)
+    assert load(path).size == 0
+
+
+def test_bound_preserved(tmp_path):
+    for exp in (6, 8, 10):
+        path = tmp_path / f"b{exp}.incgrad"
+        save(path, _grads(500, seed=exp), ErrorBound(exp))
+        back = load_bytes(path.read_bytes())
+        assert back.bound == ErrorBound(exp)

@@ -1,0 +1,89 @@
+"""Hypothesis property tests on the codec's core invariants."""
+
+import math
+import struct
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CompressedGradients, ErrorBound, compress, decompress
+from repro.core.reference import compress_value, decompress_value, roundtrip_value
+
+bounds = st.integers(min_value=1, max_value=15).map(ErrorBound)
+
+finite_floats = st.floats(
+    width=32, allow_nan=False, allow_infinity=False, allow_subnormal=True
+)
+
+all_float_bits = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@given(finite_floats, bounds)
+def test_roundtrip_error_within_bound(value, bound):
+    recon = roundtrip_value(value, bound)
+    if abs(value) >= 1.0:
+        assert recon == value
+    else:
+        assert abs(recon - value) < bound.bound
+
+
+@given(finite_floats, bounds)
+def test_recompression_idempotent(value, bound):
+    once = roundtrip_value(value, bound)
+    assert roundtrip_value(once, bound) == once
+
+
+@given(finite_floats, bounds)
+def test_sign_symmetry(value, bound):
+    if value == 0.0 or math.isnan(value):
+        return
+    assert roundtrip_value(-value, bound) == -roundtrip_value(value, bound)
+
+
+@given(all_float_bits, bounds)
+def test_every_bit_pattern_classifies(bits, bound):
+    # The codec must accept any 32-bit pattern, including NaN payloads,
+    # denormals, and negative zero.
+    value = struct.unpack("<f", struct.pack("<I", bits))[0]
+    tag, payload = compress_value(value, bound)
+    recon = decompress_value(tag, payload, bound)
+    if math.isnan(value):
+        assert math.isnan(recon)
+    elif abs(value) >= 1.0:
+        assert recon == value
+    else:
+        assert abs(recon - value) < bound.bound
+
+
+@given(
+    st.lists(finite_floats, min_size=0, max_size=200),
+    bounds,
+)
+@settings(max_examples=50)
+def test_vectorized_matches_scalar(values, bound):
+    arr = np.array(values, dtype=np.float32)
+    cg = compress(arr, bound)
+    recon = decompress(cg)
+    for i, value in enumerate(arr):
+        tag, payload = compress_value(float(value), bound)
+        assert (int(cg.tags[i]), int(cg.payloads[i])) == (tag, payload)
+        assert recon[i] == np.float32(decompress_value(tag, payload, bound))
+
+
+@given(st.lists(finite_floats, min_size=0, max_size=100), bounds)
+@settings(max_examples=50)
+def test_wire_format_roundtrip(values, bound):
+    arr = np.array(values, dtype=np.float32)
+    cg = compress(arr, bound)
+    back = CompressedGradients.from_bytes(cg.to_bytes(), len(arr), bound)
+    assert np.array_equal(back.tags, cg.tags)
+    assert np.array_equal(back.payloads, cg.payloads)
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=100), bounds)
+@settings(max_examples=50)
+def test_compressed_never_larger_than_34_bits_per_value(values, bound):
+    arr = np.array(values, dtype=np.float32)
+    cg = compress(arr, bound)
+    assert cg.compressed_bits <= 34 * len(arr) + 16

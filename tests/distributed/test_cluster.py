@@ -1,0 +1,128 @@
+"""End-to-end distributed training runs (functional + timing)."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import ComputeProfile, train_distributed
+from repro.dnn import LRSchedule, SGD, build_hdc, hdc_dataset
+from repro.transport import ClusterConfig
+
+
+def _run(algorithm, iterations=12, compression=False, compress_gradients=False,
+         num_workers=4, profile=None, seed=0, bandwidth=10e9):
+    num_nodes = num_workers + 1 if algorithm == "wa" else num_workers
+    return train_distributed(
+        algorithm=algorithm,
+        build_net=lambda s: build_hdc(seed=s),
+        make_optimizer=lambda: SGD(LRSchedule(0.02), momentum=0.9),
+        dataset=hdc_dataset(train_size=400, test_size=100, seed=0),
+        num_workers=num_workers,
+        iterations=iterations,
+        batch_size=16,
+        cluster=ClusterConfig(
+            num_nodes=num_nodes, compression=compression, bandwidth_bps=bandwidth
+        ),
+        profile=profile or ComputeProfile(),
+        compress_gradients=compress_gradients,
+        seed=seed,
+    )
+
+
+def test_ring_and_wa_learn_equally_without_compression():
+    ring = _run("ring", iterations=40)
+    wa = _run("wa", iterations=40)
+    # Same seeds, same math (sum of local gradients): trajectories match
+    # closely; final losses and accuracies agree.
+    assert ring.losses[-1] < ring.losses[0]
+    assert wa.losses[-1] < wa.losses[0]
+    assert ring.final_top1 == pytest.approx(wa.final_top1, abs=0.06)
+    np.testing.assert_allclose(ring.losses, wa.losses, rtol=0.05)
+
+
+def test_ring_faster_than_wa_same_iterations():
+    # Communication-bound regime: the ring removes the aggregator
+    # bottleneck (paper Fig 12: 31-52% shorter training time).
+    ring = _run("ring", iterations=6, bandwidth=1e9)
+    wa = _run("wa", iterations=6, bandwidth=1e9)
+    assert ring.virtual_time_s < wa.virtual_time_s
+    speedup = wa.virtual_time_s / ring.virtual_time_s
+    assert 1.2 < speedup < 4.0
+
+
+def test_compression_reduces_ring_time():
+    plain = _run("ring", iterations=6, bandwidth=1e9)
+    comp = _run(
+        "ring", iterations=6, bandwidth=1e9,
+        compression=True, compress_gradients=True,
+    )
+    assert comp.virtual_time_s < plain.virtual_time_s
+
+
+def test_compressed_training_still_learns():
+    result = _run(
+        "ring", iterations=40, compression=True, compress_gradients=True
+    )
+    baseline = _run("ring", iterations=40)
+    assert result.losses[-1] < result.losses[0]
+    assert result.final_top1 > baseline.final_top1 - 0.1
+
+
+def test_wa_compression_only_helps_gradient_leg():
+    plain = _run("wa", iterations=6, bandwidth=1e9)
+    comp = _run(
+        "wa", iterations=6, bandwidth=1e9,
+        compression=True, compress_gradients=True,
+    )
+    # Some gain (the up leg shrinks) but bounded: the weight leg is
+    # incompressible, so less than half the traffic can shrink.
+    assert comp.virtual_time_s < plain.virtual_time_s
+    assert comp.virtual_time_s > plain.virtual_time_s * 0.4
+
+
+def test_phase_accounting_sums_to_total():
+    profile = ComputeProfile(
+        forward_s=1e-4, backward_s=5e-4, gpu_copy_s=1e-4, update_s=2e-4
+    )
+    result = _run("ring", iterations=5, profile=profile)
+    assert sum(result.phase_seconds.values()) == pytest.approx(
+        result.virtual_time_s, rel=1e-6
+    )
+    assert result.phase_seconds["forward"] == pytest.approx(5e-4)
+    assert result.phase_seconds["communicate"] > 0
+
+
+def test_communication_fraction_grows_with_slow_network():
+    profile = ComputeProfile(forward_s=1e-5, backward_s=1e-5, update_s=1e-5)
+    fast = _run("wa", iterations=4, profile=profile, bandwidth=10e9)
+    slow = _run("wa", iterations=4, profile=profile, bandwidth=0.5e9)
+    assert slow.communication_fraction > fast.communication_fraction
+
+
+def test_unknown_algorithm_rejected():
+    with pytest.raises(ValueError):
+        _run("butterfly")
+
+
+def test_too_few_workers_rejected():
+    with pytest.raises(ValueError):
+        _run("ring", num_workers=1)
+
+
+def test_eval_checkpoints_recorded():
+    result = train_distributed(
+        algorithm="ring",
+        build_net=lambda s: build_hdc(seed=s),
+        make_optimizer=lambda: SGD(LRSchedule(0.02), momentum=0.9),
+        dataset=hdc_dataset(train_size=200, test_size=50, seed=0),
+        num_workers=2,
+        iterations=10,
+        batch_size=16,
+        eval_every=5,
+    )
+    assert len(result.eval_top1) == 2
+
+
+def test_losses_recorded_per_iteration():
+    result = _run("ring", iterations=7)
+    assert len(result.losses) == 7
+    assert all(np.isfinite(l) for l in result.losses)

@@ -1,0 +1,138 @@
+"""Dataset and training-loop tests, including end-to-end learnability."""
+
+import numpy as np
+import pytest
+
+from repro.dnn import (
+    LRSchedule,
+    SGD,
+    build_hdc,
+    build_mini_cnn,
+    capture_gradient_trace,
+    cnn_dataset,
+    hdc_dataset,
+    top1_accuracy,
+    train_single_node,
+)
+from repro.dnn.data import synthetic_images
+
+
+class TestDatasets:
+    def test_deterministic_given_seed(self):
+        a = hdc_dataset(train_size=100, test_size=20, seed=7)
+        b = hdc_dataset(train_size=100, test_size=20, seed=7)
+        np.testing.assert_array_equal(a.train_x, b.train_x)
+        np.testing.assert_array_equal(a.test_y, b.test_y)
+
+    def test_different_seeds_differ(self):
+        a = hdc_dataset(train_size=100, test_size=20, seed=1)
+        b = hdc_dataset(train_size=100, test_size=20, seed=2)
+        assert not np.array_equal(a.train_x, b.train_x)
+
+    def test_shapes(self):
+        flat = hdc_dataset(train_size=50, test_size=10)
+        assert flat.train_x.shape == (50, 784)
+        images = cnn_dataset(train_size=40, test_size=10)
+        assert images.train_x.shape == (40, 3, 16, 16)
+
+    def test_sharding_partitions_train_set(self):
+        ds = hdc_dataset(train_size=100, test_size=10)
+        shards = [ds.shard(i, 4) for i in range(4)]
+        assert sum(s.train_size for s in shards) == 100
+        # Shards are disjoint: rebuilding the union recovers every row.
+        union = np.concatenate([s.train_x for s in shards])
+        assert union.shape == ds.train_x.shape
+        # Test set is shared, not sharded.
+        np.testing.assert_array_equal(shards[0].test_x, ds.test_x)
+
+    def test_shard_bounds_checked(self):
+        ds = hdc_dataset(train_size=10, test_size=5)
+        with pytest.raises(ValueError):
+            ds.shard(4, 4)
+
+    def test_minibatches_cover_epoch(self):
+        ds = hdc_dataset(train_size=100, test_size=10)
+        rng = np.random.default_rng(0)
+        batches = list(ds.minibatches(32, rng))
+        assert sum(len(x) for x, _ in batches) == 100
+
+    def test_sample_batch_shape(self):
+        ds = hdc_dataset(train_size=100, test_size=10)
+        x, y = ds.sample_batch(25, np.random.default_rng(0))
+        assert x.shape == (25, 784) and y.shape == (25,)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            synthetic_images(num_classes=1)
+        ds = hdc_dataset(train_size=10, test_size=5)
+        with pytest.raises(ValueError):
+            list(ds.minibatches(0, np.random.default_rng(0)))
+
+
+class TestTraining:
+    def test_hdc_learns_synthetic_digits(self):
+        ds = hdc_dataset(train_size=800, test_size=200, seed=0)
+        net = build_hdc(seed=0)
+        opt = SGD(LRSchedule(0.05), momentum=0.9, weight_decay=5e-5)
+        chance = top1_accuracy(net.predict(ds.test_x), ds.test_y)
+        result = train_single_node(
+            net, opt, ds, batch_size=25, iterations=150, seed=0
+        )
+        assert result.final_top1 > max(0.5, chance + 0.3)
+        assert result.losses[-1] < result.losses[0]
+
+    def test_mini_cnn_learns(self):
+        ds = cnn_dataset(train_size=400, test_size=100, seed=0)
+        net = build_mini_cnn(seed=0)
+        opt = SGD(LRSchedule(0.05), momentum=0.9)
+        result = train_single_node(
+            net, opt, ds, batch_size=32, iterations=80, seed=0
+        )
+        assert result.final_top1 > 0.4  # chance is 0.1
+
+    def test_gradient_hook_applied(self):
+        ds = hdc_dataset(train_size=100, test_size=20)
+        net = build_hdc(seed=1)
+        opt = SGD(LRSchedule(0.05))
+        seen = []
+
+        def hook(iteration, grad):
+            seen.append(iteration)
+            return np.zeros_like(grad)  # freeze the model
+
+        before = net.parameter_vector()
+        train_single_node(
+            net, opt, ds, batch_size=10, iterations=5, gradient_hook=hook
+        )
+        after = net.parameter_vector()
+        assert seen == [0, 1, 2, 3, 4]
+        np.testing.assert_array_equal(before, after)  # zero grads, no motion
+
+    def test_eval_every_records_checkpoints(self):
+        ds = hdc_dataset(train_size=100, test_size=20)
+        net = build_hdc(seed=2)
+        opt = SGD(LRSchedule(0.05))
+        result = train_single_node(
+            net, opt, ds, batch_size=10, iterations=10, eval_every=5
+        )
+        assert len(result.test_top1) == 2
+
+    def test_capture_gradient_trace(self):
+        ds = hdc_dataset(train_size=100, test_size=20)
+        net = build_hdc(seed=3)
+        opt = SGD(LRSchedule(0.05))
+        snaps = capture_gradient_trace(
+            net, opt, ds, batch_size=10, iterations=10, capture_at=[0, 5, 9]
+        )
+        assert set(snaps) == {0, 5, 9}
+        assert all(v.size == net.num_parameters for v in snaps.values())
+
+    def test_training_is_deterministic(self):
+        def run():
+            ds = hdc_dataset(train_size=100, test_size=20, seed=0)
+            net = build_hdc(seed=0)
+            opt = SGD(LRSchedule(0.05), momentum=0.9)
+            train_single_node(net, opt, ds, batch_size=10, iterations=5, seed=0)
+            return net.parameter_vector()
+
+        np.testing.assert_array_equal(run(), run())

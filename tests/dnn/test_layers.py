@@ -1,0 +1,204 @@
+"""Layer tests including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.dnn import Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU
+
+
+def _numeric_grad(f, x, eps=1e-3):
+    """Central-difference gradient of scalar f w.r.t. array x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        f_plus = f()
+        x[idx] = orig - eps
+        f_minus = f()
+        x[idx] = orig
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def _check_input_grad(layer, x, atol=1e-2):
+    """Compare backward() against numeric input gradient of sum(output)."""
+    out = layer.forward(x.copy(), training=True)
+    analytic = layer.backward(np.ones_like(out))
+
+    x_var = x.copy()
+
+    def f():
+        return float(layer.forward(x_var, training=True).sum())
+
+    # Recompute forward once to restore cache for determinism.
+    numeric = _numeric_grad(f, x_var)
+    np.testing.assert_allclose(analytic, numeric, atol=atol)
+
+
+class TestDense:
+    def test_forward_shape(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(5, 3, rng)
+        out = layer.forward(np.ones((4, 5), dtype=np.float32))
+        assert out.shape == (4, 3)
+
+    def test_parameter_gradients(self):
+        rng = np.random.default_rng(1)
+        layer = Dense(4, 3, rng)
+        x = rng.standard_normal((2, 4)).astype(np.float32)
+        out = layer.forward(x)
+        layer.backward(np.ones_like(out))
+        analytic_w = layer.grads["W"].copy()
+
+        def loss():
+            return float(layer.forward(x).sum())
+
+        numeric_w = _numeric_grad(loss, layer.params["W"])
+        np.testing.assert_allclose(analytic_w, numeric_w, atol=1e-2)
+        np.testing.assert_allclose(
+            layer.grads["b"], np.full(3, 2.0), atol=1e-5
+        )
+
+    def test_input_gradient(self):
+        rng = np.random.default_rng(2)
+        layer = Dense(4, 3, rng)
+        _check_input_grad(layer, rng.standard_normal((2, 4)).astype(np.float32))
+
+    def test_backward_before_forward_raises(self):
+        layer = Dense(2, 2, np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2), dtype=np.float32))
+
+
+class TestReLU:
+    def test_forward(self):
+        layer = ReLU()
+        x = np.array([[-1.0, 0.0, 2.0]], dtype=np.float32)
+        np.testing.assert_array_equal(layer.forward(x), [[0.0, 0.0, 2.0]])
+
+    def test_backward_masks(self):
+        layer = ReLU()
+        x = np.array([[-1.0, 3.0]], dtype=np.float32)
+        layer.forward(x)
+        grad = layer.backward(np.array([[5.0, 5.0]], dtype=np.float32))
+        np.testing.assert_array_equal(grad, [[0.0, 5.0]])
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        layer = Dropout(0.5, np.random.default_rng(0))
+        x = np.ones((3, 3), dtype=np.float32)
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_training_preserves_expectation(self):
+        layer = Dropout(0.4, np.random.default_rng(0))
+        x = np.ones((200, 200), dtype=np.float32)
+        out = layer.forward(x, training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(0.5, np.random.default_rng(1))
+        x = np.ones((10, 10), dtype=np.float32)
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(x))
+        np.testing.assert_array_equal(grad, out)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0, np.random.default_rng(0))
+
+
+class TestFlatten:
+    def test_roundtrip(self):
+        layer = Flatten()
+        x = np.arange(24, dtype=np.float32).reshape(2, 3, 2, 2)
+        out = layer.forward(x)
+        assert out.shape == (2, 12)
+        back = layer.backward(out)
+        np.testing.assert_array_equal(back, x)
+
+
+class TestConv2D:
+    def test_output_shape(self):
+        rng = np.random.default_rng(0)
+        layer = Conv2D(3, 8, kernel_size=3, rng=rng, padding=1)
+        out = layer.forward(np.zeros((2, 3, 8, 8), dtype=np.float32))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_stride_and_no_padding(self):
+        rng = np.random.default_rng(0)
+        layer = Conv2D(1, 2, kernel_size=3, rng=rng, stride=2)
+        out = layer.forward(np.zeros((1, 1, 7, 7), dtype=np.float32))
+        assert out.shape == (1, 2, 3, 3)
+
+    def test_matches_direct_convolution(self):
+        rng = np.random.default_rng(3)
+        layer = Conv2D(2, 1, kernel_size=2, rng=rng)
+        x = rng.standard_normal((1, 2, 3, 3)).astype(np.float32)
+        out = layer.forward(x)
+        w, b = layer.params["W"], layer.params["b"]
+        expected = np.zeros((1, 1, 2, 2), dtype=np.float32)
+        for i in range(2):
+            for j in range(2):
+                patch = x[0, :, i : i + 2, j : j + 2]
+                expected[0, 0, i, j] = (patch * w[0]).sum() + b[0]
+        np.testing.assert_allclose(out, expected, rtol=1e-5)
+
+    def test_input_gradient(self):
+        rng = np.random.default_rng(4)
+        layer = Conv2D(2, 3, kernel_size=3, rng=rng, padding=1)
+        _check_input_grad(
+            layer, rng.standard_normal((1, 2, 4, 4)).astype(np.float32)
+        )
+
+    def test_weight_gradient(self):
+        rng = np.random.default_rng(5)
+        layer = Conv2D(1, 1, kernel_size=2, rng=rng)
+        x = rng.standard_normal((2, 1, 3, 3)).astype(np.float32)
+        out = layer.forward(x)
+        layer.backward(np.ones_like(out))
+        analytic = layer.grads["W"].copy()
+
+        def loss():
+            return float(layer.forward(x).sum())
+
+        numeric = _numeric_grad(loss, layer.params["W"])
+        np.testing.assert_allclose(analytic, numeric, atol=1e-2)
+
+    def test_invalid_geometry(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            Conv2D(1, 1, kernel_size=0, rng=rng)
+        with pytest.raises(ValueError):
+            Conv2D(1, 1, kernel_size=3, rng=rng, stride=0)
+
+
+class TestMaxPool2D:
+    def test_forward(self):
+        layer = MaxPool2D(2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_backward_routes_to_max(self):
+        layer = MaxPool2D(2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        grad = layer.backward(np.ones_like(out))
+        assert grad[0, 0, 1, 1] == 1.0  # position of 5
+        assert grad[0, 0, 0, 0] == 0.0
+
+    def test_ties_split_gradient(self):
+        layer = MaxPool2D(2)
+        x = np.ones((1, 1, 2, 2), dtype=np.float32)
+        out = layer.forward(x)
+        grad = layer.backward(np.ones_like(out))
+        assert grad.sum() == pytest.approx(1.0)
+
+    def test_indivisible_size_rejected(self):
+        layer = MaxPool2D(2)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((1, 1, 5, 4), dtype=np.float32))

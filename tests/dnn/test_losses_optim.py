@@ -1,0 +1,133 @@
+"""Loss and optimizer tests."""
+
+import numpy as np
+import pytest
+
+from repro.dnn import LRSchedule, SGD, SoftmaxCrossEntropy, build_hdc
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]], dtype=np.float32)
+        labels = np.array([0, 1])
+        assert loss.forward(logits, labels) < 1e-4
+
+    def test_uniform_prediction_log_c(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.zeros((4, 10), dtype=np.float32)
+        labels = np.zeros(4, dtype=np.int64)
+        assert loss.forward(logits, labels) == pytest.approx(np.log(10), rel=1e-4)
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(0)
+        logits = rng.standard_normal((3, 5)).astype(np.float32)
+        labels = np.array([1, 3, 0])
+        loss = SoftmaxCrossEntropy()
+        loss.forward(logits, labels)
+        analytic = loss.backward()
+
+        eps = 1e-3
+        numeric = np.zeros_like(logits, dtype=np.float64)
+        probe = SoftmaxCrossEntropy()
+        for i in range(3):
+            for j in range(5):
+                logits[i, j] += eps
+                up = probe.forward(logits, labels)
+                logits[i, j] -= 2 * eps
+                down = probe.forward(logits, labels)
+                logits[i, j] += eps
+                numeric[i, j] = (up - down) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-3)
+
+    def test_shape_validation(self):
+        loss = SoftmaxCrossEntropy()
+        with pytest.raises(ValueError):
+            loss.forward(np.zeros(3, dtype=np.float32), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            loss.forward(np.zeros((3, 2), dtype=np.float32), np.zeros(2, dtype=int))
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            SoftmaxCrossEntropy().backward()
+
+
+class TestLRSchedule:
+    def test_constant_without_reduction(self):
+        sched = LRSchedule(base_lr=0.1)
+        assert sched.lr_at(0) == sched.lr_at(10_000) == 0.1
+
+    def test_step_reduction(self):
+        # Table I style: divide by 10 every 100k iterations.
+        sched = LRSchedule(base_lr=0.01, factor=10, every=100_000)
+        assert sched.lr_at(0) == 0.01
+        assert sched.lr_at(99_999) == 0.01
+        assert sched.lr_at(100_000) == pytest.approx(0.001)
+        assert sched.lr_at(200_000) == pytest.approx(0.0001)
+
+    def test_negative_iteration_rejected(self):
+        with pytest.raises(ValueError):
+            LRSchedule(0.1).lr_at(-1)
+
+
+class TestSGD:
+    def _tiny_net(self):
+        from repro.dnn import Dense, Sequential
+
+        rng = np.random.default_rng(0)
+        return Sequential([Dense(3, 2, rng)])
+
+    def test_plain_sgd_step(self):
+        net = self._tiny_net()
+        opt = SGD(LRSchedule(0.5), momentum=0.0)
+        before = net.parameter_vector()
+        grad = np.ones(net.num_parameters, dtype=np.float32)
+        opt.step_with_vector(net, grad)
+        after = net.parameter_vector()
+        np.testing.assert_allclose(after, before - 0.5, rtol=1e-5)
+
+    def test_momentum_accelerates(self):
+        net_plain, net_mom = self._tiny_net(), self._tiny_net()
+        opt_plain = SGD(LRSchedule(0.1), momentum=0.0)
+        opt_mom = SGD(LRSchedule(0.1), momentum=0.9)
+        grad = np.ones(net_plain.num_parameters, dtype=np.float32)
+        for _ in range(3):
+            opt_plain.step_with_vector(net_plain, grad)
+            opt_mom.step_with_vector(net_mom, grad)
+        moved_plain = np.abs(
+            net_plain.parameter_vector() - self._tiny_net().parameter_vector()
+        ).sum()
+        moved_mom = np.abs(
+            net_mom.parameter_vector() - self._tiny_net().parameter_vector()
+        ).sum()
+        assert moved_mom > moved_plain
+
+    def test_weight_decay_shrinks_weights(self):
+        net = self._tiny_net()
+        opt = SGD(LRSchedule(0.1), momentum=0.0, weight_decay=0.1)
+        zero_grad = np.zeros(net.num_parameters, dtype=np.float32)
+        before = net.parameter_vector()
+        opt.step_with_vector(net, zero_grad)
+        after = net.parameter_vector()
+        assert np.abs(after).sum() < np.abs(before).sum()
+
+    def test_iteration_counter_drives_schedule(self):
+        net = self._tiny_net()
+        opt = SGD(LRSchedule(1.0, factor=10, every=2), momentum=0.0)
+        grad = np.zeros(net.num_parameters, dtype=np.float32)
+        assert opt.lr == 1.0
+        opt.step_with_vector(net, grad)
+        opt.step_with_vector(net, grad)
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            SGD(LRSchedule(0.1), momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD(LRSchedule(0.1), weight_decay=-0.1)
+
+    def test_step_without_gradients_raises(self):
+        net = build_hdc(seed=0)
+        opt = SGD(LRSchedule(0.1))
+        with pytest.raises(RuntimeError):
+            opt.step(net)

@@ -1,0 +1,134 @@
+"""Engine tests: bit-exactness against the software codec, cycle model."""
+
+import numpy as np
+import pytest
+
+from repro.core import ErrorBound, compress, decompress
+from repro.hardware import (
+    BurstError,
+    CompressionEngine,
+    DecompressionEngine,
+    DecompressionError,
+    TagDecoder,
+)
+
+BOUND = ErrorBound(10)
+
+
+def _gradient_bytes(n, seed=0, scale=0.3):
+    rng = np.random.default_rng(seed)
+    values = (rng.standard_normal(n) * scale).astype(np.float32)
+    return values, values.tobytes()
+
+
+@pytest.mark.parametrize("n", [0, 1, 7, 8, 9, 16, 100, 1000])
+def test_compressor_matches_software_codec(n):
+    values, payload = _gradient_bytes(n)
+    engine = CompressionEngine(BOUND)
+    hw_stream, stats = engine.compress(payload)
+    sw_stream = compress(values, BOUND).to_bytes()
+    assert hw_stream == sw_stream
+    assert stats.bursts_in == -(-n // 8)
+
+
+@pytest.mark.parametrize("exp", [6, 8, 10])
+def test_compressor_matches_across_bounds(exp):
+    bound = ErrorBound(exp)
+    values, payload = _gradient_bytes(500, seed=exp)
+    hw_stream, _ = CompressionEngine(bound).compress(payload)
+    assert hw_stream == compress(values, bound).to_bytes()
+
+
+@pytest.mark.parametrize("n", [1, 8, 9, 100, 1000])
+def test_decompressor_roundtrip(n):
+    values, payload = _gradient_bytes(n, seed=n)
+    stream, _ = CompressionEngine(BOUND).compress(payload)
+    restored, stats = DecompressionEngine(BOUND).decompress(stream, num_values=n)
+    expected = decompress(compress(values, BOUND)).tobytes()
+    assert restored == expected
+
+
+def test_decompressor_without_length_pads_to_group():
+    values, payload = _gradient_bytes(3)
+    stream, _ = CompressionEngine(BOUND).compress(payload)
+    restored, _ = DecompressionEngine(BOUND).decompress(stream)
+    assert len(restored) == 8 * 4  # whole group
+    as_floats = np.frombuffer(restored, dtype=np.float32)
+    assert np.all(as_floats[3:] == 0.0)
+
+
+def test_decompressor_rejects_truncated_stream():
+    _, payload = _gradient_bytes(64)
+    stream, _ = CompressionEngine(BOUND).compress(payload)
+    with pytest.raises(DecompressionError):
+        DecompressionEngine(BOUND).decompress(stream[:-3], num_values=64)
+
+
+def test_decompressor_rejects_impossible_length():
+    _, payload = _gradient_bytes(8)
+    stream, _ = CompressionEngine(BOUND).compress(payload)
+    with pytest.raises(DecompressionError):
+        DecompressionEngine(BOUND).decompress(stream, num_values=999)
+
+
+def test_misaligned_payload_rejected():
+    with pytest.raises(BurstError):
+        CompressionEngine(BOUND).compress(b"\x00" * 7)
+
+
+def test_empty_payload():
+    engine = CompressionEngine(BOUND)
+    stream, stats = engine.compress(b"")
+    assert stream == b""
+    assert stats.cycles == 0
+    restored, _ = DecompressionEngine(BOUND).decompress(b"")
+    assert restored == b""
+
+
+def test_tag_decoder_sizes():
+    # tags: lane0=NO_COMPRESS(32) lane1=BIT16(16) lane2=BIT8(8) rest ZERO
+    tag_word = 0b11 | (0b10 << 2) | (0b01 << 4)
+    assert TagDecoder.group_payload_bits(tag_word) == 56
+    assert TagDecoder.decode(tag_word)[:3] == [0b11, 0b10, 0b01]
+
+
+def test_cycle_count_scales_with_bursts():
+    _, payload = _gradient_bytes(8 * 100)
+    engine = CompressionEngine(BOUND)
+    _, stats = engine.compress(payload)
+    assert stats.bursts_in == 100
+    assert stats.cycles == 100 + 4  # one burst per cycle + pipeline fill
+
+
+def test_narrow_engine_needs_more_cycles():
+    _, payload = _gradient_bytes(8 * 100)
+    wide, _ = CompressionEngine(BOUND, num_blocks=8).compress(payload)
+    narrow_engine = CompressionEngine(BOUND, num_blocks=2)
+    narrow, stats = narrow_engine.compress(payload)
+    assert narrow == wide  # functionality unchanged
+    assert stats.cycles == 100 * 4 + 4
+    assert narrow_engine.throughput_bps() == pytest.approx(32 * 100e6 / 4)
+
+
+def test_invalid_block_count_rejected():
+    with pytest.raises(ValueError):
+        CompressionEngine(BOUND, num_blocks=0)
+    with pytest.raises(ValueError):
+        DecompressionEngine(BOUND, num_blocks=-1)
+
+
+def test_stats_elapsed_time():
+    _, payload = _gradient_bytes(8 * 50)
+    _, stats = CompressionEngine(BOUND).compress(payload)
+    assert stats.elapsed_s(100e6) == pytest.approx(stats.cycles / 100e6)
+
+
+def test_extreme_values_survive_hardware_path():
+    values = np.array(
+        [np.inf, -np.inf, np.nan, 0.0, -0.0, 1e-40, 1.0, -1.0], dtype=np.float32
+    )
+    stream, _ = CompressionEngine(BOUND).compress(values.tobytes())
+    restored, _ = DecompressionEngine(BOUND).decompress(stream, num_values=8)
+    out = np.frombuffer(restored, dtype=np.float32)
+    assert out[0] == np.inf and out[1] == -np.inf and np.isnan(out[2])
+    assert out[6] == 1.0 and out[7] == -1.0

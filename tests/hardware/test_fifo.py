@@ -1,0 +1,106 @@
+"""Virtual FIFO model tests."""
+
+import pytest
+
+from repro.hardware.fifo import FifoOverflow, VirtualFifo, simulate_fifo
+
+
+class TestVirtualFifo:
+    def test_push_pop(self):
+        fifo = VirtualFifo(capacity=100)
+        fifo.push(60)
+        assert fifo.occupancy == 60
+        assert fifo.pop(40) == 40
+        assert fifo.occupancy == 20
+
+    def test_pop_limited_by_occupancy(self):
+        fifo = VirtualFifo(capacity=100)
+        fifo.push(10)
+        assert fifo.pop(50) == 10
+        assert fifo.occupancy == 0
+
+    def test_overflow_raises(self):
+        fifo = VirtualFifo(capacity=10)
+        with pytest.raises(FifoOverflow):
+            fifo.push(11)
+
+    def test_high_watermark(self):
+        fifo = VirtualFifo(capacity=100)
+        fifo.push(70)
+        fifo.pop(50)
+        fifo.push(20)
+        assert fifo.high_watermark == 70
+
+    def test_totals(self):
+        fifo = VirtualFifo(capacity=100)
+        fifo.push(50)
+        fifo.pop(30)
+        assert fifo.total_in == 50 and fifo.total_out == 30
+
+    def test_trace_sampling(self):
+        fifo = VirtualFifo(capacity=100)
+        fifo.push(10)
+        fifo.sample(1.0)
+        fifo.pop(10)
+        fifo.sample(2.0)
+        assert fifo.trace == [(1.0, 10), (2.0, 0)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VirtualFifo(capacity=0)
+        fifo = VirtualFifo(capacity=1)
+        with pytest.raises(ValueError):
+            fifo.push(-1)
+        with pytest.raises(ValueError):
+            fifo.pop(-1)
+
+
+class TestFifoSizing:
+    def test_rate_matched_stays_shallow(self):
+        result = simulate_fifo(
+            producer_bps=1.25e9,
+            consumer_bps=1.25e9,
+            burst_bytes=64 * 1024,
+            capacity=1 << 20,
+        )
+        assert not result.overflowed
+        assert result.high_watermark < 4096
+
+    def test_fast_producer_fills_fifo(self):
+        # Engine output at 3.2 GB/s feeding a 1.25 GB/s MAC: the FIFO
+        # absorbs the difference and must be sized for the burst.
+        result = simulate_fifo(
+            producer_bps=3.2e9,
+            consumer_bps=1.25e9,
+            burst_bytes=64 * 1024,
+            capacity=1 << 20,
+        )
+        assert not result.overflowed
+        expected_peak = 64 * 1024 * (1 - 1.25 / 3.2)
+        assert result.high_watermark == pytest.approx(expected_peak, rel=0.1)
+
+    def test_undersized_fifo_overflows(self):
+        result = simulate_fifo(
+            producer_bps=3.2e9,
+            consumer_bps=1.25e9,
+            burst_bytes=64 * 1024,
+            capacity=1024,
+        )
+        assert result.overflowed
+
+    def test_idle_gaps_cause_underrun(self):
+        result = simulate_fifo(
+            producer_bps=1.25e9,
+            consumer_bps=1.25e9,
+            burst_bytes=16 * 1024,
+            capacity=1 << 16,
+            idle_gap_s=50e-6,
+            bursts=3,
+        )
+        assert result.underrun_time_s > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_fifo(0, 1, 1, 1)
+        with pytest.raises(ValueError):
+            simulate_fifo(1, 1, 0, 1)

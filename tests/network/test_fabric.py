@@ -1,0 +1,121 @@
+"""Two-tier oversubscribed fabric tests."""
+
+import pytest
+
+from repro.network import (
+    Network,
+    Simulation,
+    TwoTierFabric,
+    rack_aligned_ring_order,
+    rack_interleaved_ring_order,
+)
+
+
+def _fabric(num_racks=2, nodes_per_rack=4, oversubscription=4.0):
+    sim = Simulation()
+    fabric = TwoTierFabric(
+        sim,
+        num_racks=num_racks,
+        nodes_per_rack=nodes_per_rack,
+        oversubscription=oversubscription,
+    )
+    return sim, fabric, Network(sim, fabric)
+
+
+def _deliver(sim, net, src, dst, nbytes=2**20):
+    out = {}
+    net.send(src, dst, nbytes).add_callback(lambda e: out.setdefault("t", sim.now))
+    sim.run()
+    return out["t"]
+
+
+def test_rack_membership():
+    _, fabric, _ = _fabric()
+    assert fabric.rack_of(0) == 0
+    assert fabric.rack_of(3) == 0
+    assert fabric.rack_of(4) == 1
+
+
+def test_intra_rack_route_has_two_hops():
+    _, fabric, _ = _fabric()
+    assert len(fabric.route(0, 1).links) == 2
+
+
+def test_cross_rack_route_has_four_hops():
+    _, fabric, _ = _fabric()
+    assert len(fabric.route(0, 5).links) == 4
+
+
+def test_cross_rack_slower_than_intra_rack():
+    sim1, _, net1 = _fabric()
+    t_intra = _deliver(sim1, net1, 0, 1, nbytes=8 * 2**20)
+    sim2, _, net2 = _fabric()
+    t_cross = _deliver(sim2, net2, 0, 5, nbytes=8 * 2**20)
+    assert t_cross > t_intra
+
+
+def test_oversubscription_throttles_cross_rack_aggregate():
+    # All four nodes of rack 0 send cross-rack simultaneously: the
+    # shared uplink at edge/4 aggregate throttles them.
+    def run(oversub):
+        sim, fabric, net = _fabric(oversubscription=oversub)
+        events = [
+            net.send(src, 4 + src, 4 * 2**20) for src in range(4)
+        ]
+        out = {}
+        sim.all_of(events).add_callback(lambda e: out.setdefault("t", sim.now))
+        sim.run()
+        return out["t"]
+
+    assert run(4.0) > run(1.0) * 2
+
+
+def test_ring_orders():
+    _, fabric, _ = _fabric()
+    aligned = rack_aligned_ring_order(fabric)
+    interleaved = rack_interleaved_ring_order(fabric)
+    assert sorted(aligned) == sorted(interleaved) == list(range(8))
+    # Aligned: 1 cross-rack hop per rack boundary; interleaved: all hops
+    # cross racks.
+    def cross_hops(order):
+        return sum(
+            fabric.rack_of(order[i]) != fabric.rack_of(order[(i + 1) % 8])
+            for i in range(8)
+        )
+
+    assert cross_hops(aligned) == 2
+    assert cross_hops(interleaved) == 8
+
+
+def test_aligned_ring_faster_than_interleaved():
+    """Placement matters on oversubscribed fabrics: a rack-aligned ring
+    puts one hop per direction on the core; interleaving puts them all."""
+
+    def ring_time(order):
+        sim = Simulation()
+        fabric = TwoTierFabric(sim, 2, 4, oversubscription=4.0)
+        net = Network(sim, fabric)
+        n = len(order)
+
+        # One full rotation of 8 MB blocks around the ring.
+        events = []
+        for i in range(n):
+            events.append(net.send(order[i], order[(i + 1) % n], 8 * 2**20))
+        out = {}
+        sim.all_of(events).add_callback(lambda e: out.setdefault("t", sim.now))
+        sim.run()
+        return out["t"]
+
+    sim0 = Simulation()
+    fabric0 = TwoTierFabric(sim0, 2, 4, oversubscription=4.0)
+    aligned = ring_time(rack_aligned_ring_order(fabric0))
+    interleaved = ring_time(rack_interleaved_ring_order(fabric0))
+    assert aligned < interleaved
+
+
+def test_validation():
+    sim = Simulation()
+    with pytest.raises(ValueError):
+        TwoTierFabric(sim, 0, 4)
+    with pytest.raises(ValueError):
+        TwoTierFabric(sim, 2, 4, oversubscription=0.5)

@@ -1,0 +1,88 @@
+"""Link timing and contention tests."""
+
+import pytest
+
+from repro.network import Link, Simulation
+
+
+def test_serialization_time():
+    sim = Simulation()
+    link = Link(sim, bandwidth_bps=10e9, latency_s=0.0)
+    # 1250 bytes at 10 Gb/s = 1 microsecond
+    assert link.serialization_time(1250) == pytest.approx(1e-6)
+
+
+def test_delivery_time_includes_latency():
+    sim = Simulation()
+    link = Link(sim, bandwidth_bps=10e9, latency_s=5e-6)
+    times = {}
+    sent, delivered = link.transmit(1250)
+    sent.add_callback(lambda ev: times.setdefault("sent", sim.now))
+    delivered.add_callback(lambda ev: times.setdefault("delivered", sim.now))
+    sim.run()
+    assert times["sent"] == pytest.approx(1e-6)
+    assert times["delivered"] == pytest.approx(6e-6)
+
+
+def test_fifo_contention():
+    sim = Simulation()
+    link = Link(sim, bandwidth_bps=8e9, latency_s=0.0)  # 1 byte/ns
+    done = []
+    for i in range(3):
+        _, delivered = link.transmit(1000)
+        delivered.add_callback(lambda ev, i=i: done.append((i, sim.now)))
+    sim.run()
+    # Serialized back-to-back: 1 us each.
+    assert done == [
+        (0, pytest.approx(1e-6)),
+        (1, pytest.approx(2e-6)),
+        (2, pytest.approx(3e-6)),
+    ]
+
+
+def test_link_idles_between_bursts():
+    sim = Simulation()
+    link = Link(sim, bandwidth_bps=8e9, latency_s=0.0)
+
+    def proc():
+        _, d = link.transmit(1000)
+        yield d
+        yield sim.timeout(10e-6)
+        _, d = link.transmit(1000)
+        yield d
+        return sim.now
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == pytest.approx(12e-6)
+
+
+def test_utilization_accounting():
+    sim = Simulation()
+    link = Link(sim, bandwidth_bps=8e9, latency_s=0.0)
+    link.transmit(1000)
+    sim.run()
+    assert link.bytes_carried == 1000
+    assert link.utilization(2e-6) == pytest.approx(0.5)
+    assert link.utilization(0.0) == 0.0
+
+
+def test_invalid_parameters():
+    sim = Simulation()
+    with pytest.raises(ValueError):
+        Link(sim, bandwidth_bps=0, latency_s=0)
+    with pytest.raises(ValueError):
+        Link(sim, bandwidth_bps=1e9, latency_s=-1)
+    link = Link(sim, bandwidth_bps=1e9, latency_s=0)
+    with pytest.raises(ValueError):
+        link.transmit(-1)
+
+
+def test_zero_byte_transmit_is_latency_only():
+    sim = Simulation()
+    link = Link(sim, bandwidth_bps=1e9, latency_s=3e-6)
+    times = []
+    _, delivered = link.transmit(0)
+    delivered.add_callback(lambda ev: times.append(sim.now))
+    sim.run()
+    assert times == [pytest.approx(3e-6)]

@@ -1,0 +1,112 @@
+"""Simulator detail tests: receipts, train splitting, cut-through edges."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import (
+    HEADER_BYTES,
+    Link,
+    Network,
+    Simulation,
+    SwitchedStar,
+    packet_count,
+)
+
+
+def _star(num_nodes=3, **kwargs):
+    sim = Simulation()
+    return sim, Network(sim, SwitchedStar(sim, num_nodes), **kwargs)
+
+
+def test_receipt_fields():
+    sim, net = _star()
+    ev = net.send(0, 1, 10_000)
+    sim.run()
+    _, receipt = ev.value
+    assert receipt.src == 0 and receipt.dst == 1
+    assert receipt.nbytes == 10_000
+    assert receipt.num_packets == packet_count(10_000, net.mss)
+    assert receipt.wire_nbytes == 10_000 + receipt.num_packets * HEADER_BYTES
+    assert receipt.duration == receipt.delivered_at - receipt.sent_at
+    assert receipt.duration > 0
+
+
+def test_negative_sizes_rejected():
+    sim, net = _star()
+    with pytest.raises(ValueError):
+        net.send(0, 1, -1)
+    with pytest.raises(ValueError):
+        net.send(0, 1, 100, tos=0x28, compressed_nbytes=-5)
+
+
+def test_invalid_constructor_args():
+    sim = Simulation()
+    topo = SwitchedStar(sim, 2)
+    with pytest.raises(ValueError):
+        Network(sim, topo, mss=0)
+    with pytest.raises(ValueError):
+        Network(sim, topo, train_packets=0)
+
+
+@given(
+    nbytes=st.integers(min_value=0, max_value=50_000_000),
+    wire=st.integers(min_value=0, max_value=50_000_000),
+    train_packets=st.integers(min_value=1, max_value=500),
+)
+@settings(max_examples=60, deadline=None)
+def test_train_splitting_conserves_bytes(nbytes, wire, train_packets):
+    sim = Simulation()
+    net = Network(sim, SwitchedStar(sim, 2), train_packets=train_packets)
+    num_packets = packet_count(nbytes, net.mss)
+    wire = min(wire, nbytes)  # compressed payload never exceeds raw
+    trains = list(net._split_trains(num_packets, wire, nbytes))
+    total_wire = sum(w for w, _ in trains)
+    total_raw = sum(r for _, r in trains)
+    assert total_wire == num_packets * HEADER_BYTES + wire
+    assert total_raw == num_packets * HEADER_BYTES + nbytes
+    expected_trains = -(-num_packets // train_packets)
+    assert len(trains) == expected_trains
+    assert all(w >= 0 and r >= 0 for w, r in trains)
+
+
+def test_cut_through_head_clamped_to_train():
+    sim = Simulation()
+    link = Link(sim, bandwidth_bps=8e9, latency_s=1e-6)
+    head, delivered = link.transmit_cut_through(100, head_nbytes=10_000)
+    times = {}
+    head.add_callback(lambda e: times.setdefault("head", sim.now))
+    delivered.add_callback(lambda e: times.setdefault("full", sim.now))
+    sim.run()
+    # Head clamps to the train size: both events coincide.
+    assert times["head"] == times["full"]
+
+
+def test_cut_through_negative_head_clamped():
+    sim = Simulation()
+    link = Link(sim, bandwidth_bps=8e9, latency_s=0.0)
+    head, _ = link.transmit_cut_through(1000, head_nbytes=-5)
+    times = {}
+    head.add_callback(lambda e: times.setdefault("head", sim.now))
+    sim.run()
+    assert times["head"] == 0.0  # zero-byte head arrives immediately
+
+
+def test_message_counter_and_totals():
+    sim, net = _star()
+    net.send(0, 1, 1000)
+    net.send(1, 2, 2000)
+    sim.run()
+    assert net.messages_sent == 2
+    # 1000 B -> 1 packet, 2000 B -> 2 packets.
+    assert net.total_wire_bytes == 3000 + 3 * HEADER_BYTES
+
+
+def test_many_small_messages_interleave():
+    sim, net = _star()
+    events = [net.send(0, 1, 100) for _ in range(50)]
+    done = []
+    sim.all_of(events).add_callback(lambda e: done.append(sim.now))
+    sim.run()
+    assert done and done[0] > 0

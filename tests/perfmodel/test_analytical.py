@@ -1,0 +1,80 @@
+"""Analytical model tests (Sec. VIII-D formulas)."""
+
+import pytest
+
+from repro.perfmodel import (
+    CostParameters,
+    exchange_speedup,
+    ring_exchange_time,
+    wa_exchange_time,
+)
+
+PARAMS = CostParameters.from_rates(
+    link_latency_s=2e-6, bandwidth_bps=10e9, sum_bandwidth_bps=10.4e9
+)
+
+
+def test_from_rates_conversions():
+    assert PARAMS.beta_s_per_byte == pytest.approx(0.8e-9)
+    assert PARAMS.gamma_s_per_byte == pytest.approx(1 / 10.4e9)
+    assert PARAMS.alpha_s == 2e-6
+
+
+def test_from_rates_validation():
+    with pytest.raises(ValueError):
+        CostParameters.from_rates(0, -1, 1)
+
+
+def test_wa_formula_exact():
+    # (1 + log p) a + (p + log p) n b + (p-1) n g, p=4 -> log p = 2
+    n = 1e6
+    t = wa_exchange_time(4, n, PARAMS)
+    expected = (
+        3 * PARAMS.alpha_s
+        + 6 * n * PARAMS.beta_s_per_byte
+        + 3 * n * PARAMS.gamma_s_per_byte
+    )
+    assert t == pytest.approx(expected)
+
+
+def test_ring_formula_exact():
+    n = 1e6
+    t = ring_exchange_time(4, n, PARAMS)
+    expected = (
+        6 * PARAMS.alpha_s
+        + 2 * 0.75 * n * PARAMS.beta_s_per_byte
+        + 0.75 * n * PARAMS.gamma_s_per_byte
+    )
+    assert t == pytest.approx(expected)
+
+
+def test_wa_grows_linearly_with_cluster():
+    n = 233 * 2**20
+    times = [wa_exchange_time(p, n, PARAMS) for p in (4, 8, 16)]
+    # Roughly doubles with p in the bandwidth-bound regime.
+    assert times[1] / times[0] == pytest.approx(2, rel=0.35)
+    assert times[2] / times[1] == pytest.approx(2, rel=0.35)
+
+
+def test_ring_saturates_with_cluster():
+    n = 233 * 2**20
+    times = [ring_exchange_time(p, n, PARAMS) for p in (4, 8, 16, 64)]
+    assert times[-1] / times[0] < 1.4  # (p-1)/p -> 1
+
+
+def test_speedup_grows_with_cluster_size():
+    n = 98 * 2**20
+    speedups = [exchange_speedup(p, n, PARAMS) for p in (2, 4, 8)]
+    assert speedups[0] < speedups[1] < speedups[2]
+
+
+def test_minimum_workers_enforced():
+    with pytest.raises(ValueError):
+        wa_exchange_time(1, 100, PARAMS)
+    with pytest.raises(ValueError):
+        ring_exchange_time(1, 100, PARAMS)
+
+
+def test_negative_bytes_rejected():
+    with pytest.raises(ValueError):
+        wa_exchange_time(4, -1, PARAMS)

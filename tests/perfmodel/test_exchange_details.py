@@ -1,0 +1,81 @@
+"""Exchange-simulation detail tests."""
+
+import pytest
+
+from repro.distributed import ComputeProfile
+from repro.perfmodel import (
+    measure_compression_ratio,
+    simulate_ring_exchange,
+    simulate_wa_exchange,
+)
+from repro.dnn.models import PAPER_MODELS
+
+MB = 2**20
+
+
+def test_local_compute_included_when_asked():
+    profile = ComputeProfile(forward_s=0.1, backward_s=0.2)
+    without = simulate_ring_exchange(4, 1 * MB, profile=profile).total_s
+    with_compute = simulate_ring_exchange(
+        4, 1 * MB, profile=profile, include_local_compute=True
+    ).total_s
+    assert with_compute == pytest.approx(without + 0.3, rel=0.01)
+
+
+def test_iterations_scale_totals():
+    one = simulate_wa_exchange(4, 4 * MB, iterations=1).total_s
+    three = simulate_wa_exchange(4, 4 * MB, iterations=3).total_s
+    # Sublinear: a worker that received its weights starts uploading the
+    # next iteration's gradient while the aggregator is still scattering
+    # to the others (full-duplex overlap across iterations).
+    assert 2.0 * one < three <= 3.0 * one + 1e-9
+
+
+def test_gradient_sum_accounting():
+    profile = ComputeProfile(sum_bandwidth_bps=1e9)
+    result = simulate_wa_exchange(4, 10 * MB, profile=profile)
+    # Aggregator sums 3 incoming 10 MB vectors at 1 GB/s.
+    assert result.gradient_sum_s == pytest.approx(3 * 10 * MB / 1e9, rel=0.01)
+
+
+def test_update_accounting():
+    profile = ComputeProfile(update_s=0.05)
+    result = simulate_wa_exchange(4, 1 * MB, iterations=2, profile=profile)
+    assert result.update_s == pytest.approx(0.1)
+
+
+def test_communicate_is_residual():
+    profile = ComputeProfile(update_s=0.01, sum_bandwidth_bps=1e9)
+    result = simulate_wa_exchange(4, 10 * MB, profile=profile)
+    assert result.communicate_s == pytest.approx(
+        result.total_s - result.gradient_sum_s - result.update_s
+    )
+
+
+def test_per_iteration_property():
+    result = simulate_ring_exchange(4, 2 * MB, iterations=4)
+    assert result.per_iteration_s == pytest.approx(result.total_s / 4)
+
+
+def test_ring_compression_needs_engines_to_matter():
+    plain = simulate_ring_exchange(4, 16 * MB).total_s
+    # compress_gradients=False ignores the ratio entirely.
+    same = simulate_ring_exchange(4, 16 * MB, gradient_ratio=10.0).total_s
+    assert same == pytest.approx(plain, rel=1e-6)
+
+
+def test_measured_ratio_is_deterministic():
+    spec = PAPER_MODELS["ResNet-50"]
+    assert measure_compression_ratio(spec, seed=1) == measure_compression_ratio(
+        spec, seed=1
+    )
+    assert measure_compression_ratio(spec, seed=1) != measure_compression_ratio(
+        spec, seed=2
+    )
+
+
+@pytest.mark.parametrize("simulate", [simulate_wa_exchange, simulate_ring_exchange])
+def test_bandwidth_scales_exchange(simulate):
+    slow = simulate(4, 8 * MB, bandwidth_bps=1e9).total_s
+    fast = simulate(4, 8 * MB, bandwidth_bps=10e9).total_s
+    assert slow == pytest.approx(10 * fast, rel=0.15)

@@ -1,0 +1,69 @@
+"""CLI smoke and behaviour tests."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+def _gradients(n=5000, seed=0):
+    rng = np.random.default_rng(seed)
+    return (rng.standard_normal(n) * 0.02).astype(np.float32)
+
+
+def test_compress_decompress_roundtrip(tmp_path, capsys):
+    src = tmp_path / "grads.npy"
+    np.save(src, _gradients())
+    packed = tmp_path / "grads.incgrad"
+    out = tmp_path / "restored.npy"
+
+    assert main(["compress", str(src), str(packed), "--bound", "10"]) == 0
+    assert "x)" in capsys.readouterr().out
+    assert main(["decompress", str(packed), str(out)]) == 0
+    restored = np.load(out)
+    assert np.max(np.abs(restored - _gradients())) < 2**-10
+
+
+def test_compress_raw_float32(tmp_path):
+    src = tmp_path / "grads.f32"
+    src.write_bytes(_gradients().tobytes())
+    packed = tmp_path / "grads.incgrad"
+    assert main(["compress", str(src), str(packed)]) == 0
+    assert packed.stat().st_size < src.stat().st_size
+
+
+def test_compress_misaligned_raw_rejected(tmp_path):
+    src = tmp_path / "bad.f32"
+    src.write_bytes(b"\x00" * 7)
+    with pytest.raises(SystemExit):
+        main(["compress", str(src), str(tmp_path / "x.incgrad")])
+
+
+def test_stats_reports_all_bounds(tmp_path, capsys):
+    src = tmp_path / "grads.npy"
+    np.save(src, _gradients())
+    assert main(["stats", str(src)]) == 0
+    out = capsys.readouterr().out
+    for marker in ("2^-10", "2^-8", "2^-6", "ratio"):
+        assert marker in out
+
+
+def test_simulate_prints_times(capsys):
+    assert main(
+        ["simulate", "--model", "HDC", "--configuration", "INC+C", "--workers", "4"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "iteration" in out and "communication" in out
+
+
+def test_train_smoke(capsys):
+    assert main(
+        ["train", "--algorithm", "ring", "--iterations", "5", "--workers", "2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "top-1" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,56 @@
+"""Report-generation tests."""
+
+import json
+
+import pytest
+
+from repro.report import (
+    TIMING_MODELS,
+    fig12_report,
+    fig13_report,
+    fig15_report,
+    table2_report,
+    table3_report,
+)
+
+
+def test_fig12_report_structure():
+    report = fig12_report()
+    assert set(report) == set(TIMING_MODELS)
+    for rows in report.values():
+        assert rows["WA"] == pytest.approx(1.0)
+        assert rows["INC+C"] < rows["WA"]
+
+
+def test_fig13_report_values():
+    report = fig13_report()
+    for model, row in report.items():
+        assert row["speedup"] > 1.5
+        assert row["inc_epochs"] >= row["wa_epochs"]
+
+
+def test_fig15_report_shape():
+    report = fig15_report(node_counts=(4, 8))
+    for rows in report.values():
+        assert rows["WA"][8] > rows["WA"][4]
+        assert rows["INC"][8] < rows["WA"][8]
+
+
+def test_table2_fractions_sum_to_one():
+    report = table2_report(iterations=3)
+    for fractions in report.values():
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions["communicate"] > 0.4
+
+
+def test_table3_report_classes():
+    report = table3_report(sample=1 << 14)
+    for model, bounds in report.items():
+        for bound, row in bounds.items():
+            assert sum(row["classes"].values()) == pytest.approx(1.0)
+            assert 1.0 < row["ratio"] <= 16.0
+
+
+def test_report_is_json_serializable():
+    blob = json.dumps(table3_report(sample=1 << 12))
+    assert json.loads(blob)

@@ -1,0 +1,111 @@
+"""Collective-fragment tests."""
+
+import numpy as np
+
+from repro.transport import (
+    ClusterComm,
+    ClusterConfig,
+    broadcast_from_root,
+    reduce_to_root,
+)
+
+
+def _comm(num_nodes=4, **kwargs):
+    return ClusterComm(ClusterConfig(num_nodes=num_nodes, **kwargs))
+
+
+def test_reduce_to_root_sums_all_contributions():
+    comm = _comm(5)
+    results = {}
+
+    def node(i):
+        def proc():
+            vec = np.full(100, float(i + 1), dtype=np.float32)
+            if i == 0:
+                total = yield from reduce_to_root(
+                    comm.endpoints[0], 0, vec, sources=[1, 2, 3, 4]
+                )
+                results["total"] = total
+            else:
+                yield from reduce_to_root(comm.endpoints[i], 0, vec)
+
+        return proc
+
+    for i in range(5):
+        comm.sim.process(node(i)())
+    comm.run()
+    np.testing.assert_allclose(results["total"], np.full(100, 15.0))
+
+
+def test_broadcast_from_root_delivers_to_all():
+    comm = _comm(4)
+    results = {}
+
+    def node(i):
+        def proc():
+            if i == 0:
+                vec = np.arange(50, dtype=np.float32)
+                out = yield from broadcast_from_root(
+                    comm.endpoints[0], 0, vec, destinations=[1, 2, 3]
+                )
+            else:
+                out = yield from broadcast_from_root(comm.endpoints[i], 0, None)
+            results[i] = out
+
+        return proc
+
+    for i in range(4):
+        comm.sim.process(node(i)())
+    comm.run()
+    for i in range(1, 4):
+        np.testing.assert_array_equal(results[i], results[0])
+
+
+def test_root_without_vector_raises():
+    comm = _comm(2)
+    errors = []
+
+    def proc():
+        try:
+            yield from broadcast_from_root(
+                comm.endpoints[0], 0, None, destinations=[1]
+            )
+        except ValueError as exc:
+            errors.append(exc)
+            return
+        yield comm.sim.timeout(0)
+
+    comm.sim.process(proc())
+    comm.run()
+    assert len(errors) == 1
+
+
+def test_reduce_then_broadcast_worker_aggregator_pattern():
+    """The WA baseline's two legs compose."""
+    comm = _comm(4)
+    results = {}
+
+    def worker(i):
+        def proc():
+            grad = np.full(20, float(i), dtype=np.float32)
+            yield from reduce_to_root(comm.endpoints[i], 3, grad)
+            weights = yield from broadcast_from_root(comm.endpoints[i], 3, None)
+            results[i] = weights
+
+        return proc
+
+    def aggregator():
+        own = np.zeros(20, dtype=np.float32)
+        total = yield from reduce_to_root(
+            comm.endpoints[3], 3, own, sources=[0, 1, 2]
+        )
+        yield from broadcast_from_root(
+            comm.endpoints[3], 3, total, destinations=[0, 1, 2]
+        )
+
+    for i in range(3):
+        comm.sim.process(worker(i)())
+    comm.sim.process(aggregator())
+    comm.run()
+    for i in range(3):
+        np.testing.assert_allclose(results[i], np.full(20, 3.0))  # 0+1+2

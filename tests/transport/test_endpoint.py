@@ -1,0 +1,151 @@
+"""Endpoint and ClusterComm tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import ErrorBound
+from repro.transport import ClusterComm, ClusterConfig
+
+
+def _comm(num_nodes=4, compression=False, **kwargs):
+    return ClusterComm(
+        ClusterConfig(num_nodes=num_nodes, compression=compression, **kwargs)
+    )
+
+
+def test_send_recv_roundtrip_exact_without_compression():
+    comm = _comm()
+    sent = np.random.default_rng(0).standard_normal(1000).astype(np.float32)
+    got = {}
+
+    def sender():
+        yield comm.endpoints[0].isend(1, sent)
+
+    def receiver():
+        arr = yield comm.endpoints[1].recv(0)
+        got["arr"] = arr
+
+    comm.sim.process(sender())
+    comm.sim.process(receiver())
+    comm.run()
+    np.testing.assert_array_equal(got["arr"], sent)
+
+
+def test_compressible_send_is_lossy_but_bounded():
+    bound = ErrorBound(10)
+    comm = _comm(compression=True, bound=bound)
+    sent = (np.random.default_rng(1).standard_normal(5000) * 0.2).astype(
+        np.float32
+    )
+    got = {}
+
+    def sender():
+        yield comm.endpoints[0].isend(1, sent, compressible=True)
+
+    def receiver():
+        got["arr"] = yield comm.endpoints[1].recv(0)
+
+    comm.sim.process(sender())
+    comm.sim.process(receiver())
+    comm.run()
+    arr = got["arr"]
+    assert not np.array_equal(arr, sent)  # actually lossy
+    assert np.max(np.abs(arr - sent)) < bound.bound
+
+
+def test_compressible_flag_ignored_without_engines():
+    comm = _comm(compression=False)
+    sent = (np.random.default_rng(2).standard_normal(100) * 0.2).astype(np.float32)
+    got = {}
+
+    def sender():
+        yield comm.endpoints[0].isend(1, sent, compressible=True)
+
+    def receiver():
+        got["arr"] = yield comm.endpoints[1].recv(0)
+
+    comm.sim.process(sender())
+    comm.sim.process(receiver())
+    comm.run()
+    np.testing.assert_array_equal(got["arr"], sent)
+    assert not comm.transfers[0].compressed
+
+
+def test_transfer_log_records_wire_bytes():
+    comm = _comm(compression=True)
+    sent = np.zeros(8000, dtype=np.float32)  # maximally compressible
+
+    def sender():
+        yield comm.endpoints[0].isend(1, sent, compressible=True)
+
+    def receiver():
+        yield comm.endpoints[1].recv(0)
+
+    comm.sim.process(sender())
+    comm.sim.process(receiver())
+    comm.run()
+    log = comm.transfers[0]
+    assert log.compressed
+    assert log.nbytes == 32000
+    assert log.wire_payload_nbytes == pytest.approx(2000, rel=0.01)
+
+
+def test_compression_speeds_up_virtual_time():
+    sent = np.zeros(2_000_000, dtype=np.float32)
+
+    def run(compression):
+        comm = _comm(compression=compression)
+
+        def sender():
+            yield comm.endpoints[0].isend(1, sent, compressible=True)
+
+        def receiver():
+            yield comm.endpoints[1].recv(0)
+
+        comm.sim.process(sender())
+        comm.sim.process(receiver())
+        return comm.run()
+
+    assert run(True) < run(False)
+
+
+def test_messages_from_different_sources_keep_order():
+    comm = _comm()
+    got = []
+
+    def sender(src, value):
+        def proc():
+            arr = np.full(10, value, dtype=np.float32)
+            yield comm.endpoints[src].isend(3, arr)
+
+        return proc
+
+    def receiver():
+        a = yield comm.endpoints[3].recv(0)
+        b = yield comm.endpoints[3].recv(1)
+        got.extend([a[0], b[0]])
+
+    comm.sim.process(sender(0, 1.0)())
+    comm.sim.process(sender(1, 2.0)())
+    comm.sim.process(receiver())
+    comm.run()
+    assert got == [1.0, 2.0]
+
+
+def test_multiple_messages_same_pair_fifo():
+    comm = _comm()
+    got = []
+
+    def sender():
+        for value in (1.0, 2.0, 3.0):
+            yield comm.endpoints[0].isend(1, np.full(4, value, dtype=np.float32))
+
+    def receiver():
+        for _ in range(3):
+            arr = yield comm.endpoints[1].recv(0)
+            got.append(float(arr[0]))
+
+    comm.sim.process(sender())
+    comm.sim.process(receiver())
+    comm.run()
+    assert got == [1.0, 2.0, 3.0]

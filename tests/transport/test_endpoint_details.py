@@ -1,0 +1,133 @@
+"""Endpoint detail tests: sized sends, promiscuous mode, validation."""
+
+import numpy as np
+import pytest
+
+from repro.transport import ClusterComm, ClusterConfig
+
+
+def _comm(num_nodes=3, compression=False, **kwargs):
+    return ClusterComm(
+        ClusterConfig(num_nodes=num_nodes, compression=compression, **kwargs)
+    )
+
+
+class TestSizedSends:
+    def test_sized_send_delivers_size(self):
+        comm = _comm()
+        got = []
+
+        def sender():
+            yield comm.endpoints[0].isend_sized(1, 12345)
+
+        def receiver():
+            got.append((yield comm.endpoints[1].recv(0)))
+
+        comm.sim.process(sender())
+        comm.sim.process(receiver())
+        comm.run()
+        assert got == [12345]
+
+    def test_sized_send_ratio_shrinks_wire(self):
+        comm = _comm(compression=True)
+
+        def sender():
+            yield comm.endpoints[0].isend_sized(
+                1, 1_000_000, compressible=True, compression_ratio=10.0
+            )
+
+        def receiver():
+            yield comm.endpoints[1].recv(0)
+
+        comm.sim.process(sender())
+        comm.sim.process(receiver())
+        comm.run()
+        assert comm.transfers[0].wire_payload_nbytes == 100_000
+
+    def test_ratio_below_one_rejected(self):
+        comm = _comm(compression=True)
+        with pytest.raises(ValueError):
+            comm.endpoints[0].isend_sized(
+                1, 100, compressible=True, compression_ratio=0.5
+            )
+
+    def test_negative_size_rejected(self):
+        comm = _comm()
+        with pytest.raises(ValueError):
+            comm.endpoints[0].isend_sized(1, -10)
+
+    def test_ratio_ignored_without_engines(self):
+        comm = _comm(compression=False)
+
+        def sender():
+            yield comm.endpoints[0].isend_sized(
+                1, 1000, compressible=True, compression_ratio=10.0
+            )
+
+        def receiver():
+            yield comm.endpoints[1].recv(0)
+
+        comm.sim.process(sender())
+        comm.sim.process(receiver())
+        comm.run()
+        assert comm.transfers[0].wire_payload_nbytes == 1000
+        assert not comm.transfers[0].compressed
+
+
+class TestPromiscuousMode:
+    def test_recv_any_tags_source(self):
+        comm = _comm()
+        comm.endpoints[2].promiscuous = True
+        got = []
+
+        def sender(src, value):
+            def proc():
+                yield comm.endpoints[src].isend(
+                    2, np.full(4, value, dtype=np.float32)
+                )
+
+            return proc
+
+        def receiver():
+            for _ in range(2):
+                src, arr = yield comm.endpoints[2].recv_any()
+                got.append((src, float(arr[0])))
+
+        comm.sim.process(sender(0, 1.0)())
+        comm.sim.process(sender(1, 2.0)())
+        comm.sim.process(receiver())
+        comm.run()
+        assert sorted(got) == [(0, 1.0), (1, 2.0)]
+
+    def test_recv_on_promiscuous_endpoint_rejected(self):
+        comm = _comm()
+        comm.endpoints[1].promiscuous = True
+        with pytest.raises(RuntimeError):
+            comm.endpoints[1].recv(0)
+
+    def test_recv_any_without_flag_rejected(self):
+        comm = _comm()
+        with pytest.raises(RuntimeError):
+            comm.endpoints[1].recv_any()
+
+
+class TestTransferLog:
+    def test_log_order_and_timestamps(self):
+        comm = _comm()
+
+        def proc():
+            yield comm.endpoints[0].isend(1, np.zeros(10, dtype=np.float32))
+            yield comm.endpoints[0].isend(2, np.zeros(20, dtype=np.float32))
+
+        def rx(node):
+            def p():
+                yield comm.endpoints[node].recv(0)
+
+            return p
+
+        comm.sim.process(proc())
+        comm.sim.process(rx(1)())
+        comm.sim.process(rx(2)())
+        comm.run()
+        assert [t.dst for t in comm.transfers] == [1, 2]
+        assert comm.transfers[0].sent_at <= comm.transfers[1].sent_at

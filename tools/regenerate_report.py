@@ -1,0 +1,28 @@
+#!/usr/bin/env python
+"""Regenerate the machine-readable experiment report.
+
+Usage:  python tools/regenerate_report.py [output.json]
+
+Runs the timing/statistics experiments (a few seconds) and writes the
+nested-dict report as JSON.  The human-readable counterpart lives in
+EXPERIMENTS.md; the accuracy experiments (real training) are run by the
+benches (`pytest benchmarks/ -s`).
+"""
+
+import json
+import sys
+from pathlib import Path
+
+from repro.report import full_report
+
+
+def main() -> int:
+    output = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("report.json")
+    report = full_report()
+    output.write_text(json.dumps(report, indent=2, sort_keys=True))
+    print(f"wrote {output} ({output.stat().st_size} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
