@@ -7,6 +7,8 @@ Subcommands
 ``stats``       Table III-style bitwidth/ratio report for a gradient file
 ``simulate``    per-iteration time of a Fig 12 configuration at paper scale
 ``train``       run the simulated-cluster training demo
+``exchange``    paper-scale gradient-exchange timing under any codec
+``codecs``      list registered gradient codecs and their measured ratios
 """
 
 from __future__ import annotations
@@ -85,11 +87,24 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stream_for(args: argparse.Namespace):
+    """Resolve the --codec flag into a StreamProfile (or None)."""
+    from repro.core import profile_for
+
+    if getattr(args, "codec", None) is None:
+        return None
+    try:
+        return profile_for(args.codec)
+    except KeyError as exc:
+        raise SystemExit(f"--codec: {exc.args[0]}")
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     from repro.distributed import train_distributed
     from repro.dnn import LRSchedule, SGD, build_hdc, hdc_dataset
     from repro.transport import ClusterConfig
 
+    stream = _stream_for(args)
     num_nodes = args.workers + 1 if args.algorithm == "wa" else args.workers
     result = train_distributed(
         algorithm=args.algorithm,
@@ -99,17 +114,71 @@ def _cmd_train(args: argparse.Namespace) -> int:
         num_workers=args.workers,
         iterations=args.iterations,
         batch_size=args.batch_size,
-        cluster=ClusterConfig(num_nodes=num_nodes, compression=args.compress),
+        cluster=ClusterConfig(
+            num_nodes=num_nodes,
+            compression=args.compress,
+            profile=stream,
+        ),
         compress_gradients=args.compress,
+        stream=stream,
         seed=args.seed,
     )
+    tag = f"+{args.codec}" if stream else ("+C" if args.compress else "")
     print(
-        f"{args.algorithm}{'+C' if args.compress else ''} x{args.workers}: "
+        f"{args.algorithm}{tag} x{args.workers}: "
         f"loss {result.losses[0]:.3f} -> {result.losses[-1]:.3f}, "
         f"top-1 {result.final_top1:.3f}, "
         f"simulated {result.virtual_time_s:.3f} s "
         f"({100 * result.communication_fraction:.0f}% communication)"
     )
+    return 0
+
+
+def _cmd_exchange(args: argparse.Namespace) -> int:
+    from repro.perfmodel import (
+        measure_profile_ratio,
+        simulate_ring_exchange,
+        simulate_wa_exchange,
+    )
+
+    stream = _stream_for(args)
+    simulate = (
+        simulate_ring_exchange if args.algorithm == "ring" else simulate_wa_exchange
+    )
+    result = simulate(
+        num_workers=args.workers,
+        nbytes=int(args.mbytes * 1e6),
+        iterations=args.iterations,
+        bandwidth_bps=args.gbps * 1e9,
+        stream=stream,
+    )
+    label = f"{args.algorithm}+{args.codec}" if stream else args.algorithm
+    print(
+        f"{label} x{args.workers} @ {args.gbps:g} Gb/s, "
+        f"{args.mbytes:g} MB gradients:"
+    )
+    if stream is not None:
+        print(f"  measured ratio {measure_profile_ratio(stream):10.2f}x")
+    print(f"  per iteration  {result.per_iteration_s * 1e3:10.2f} ms")
+    print(f"  total          {result.total_s * 1e3:10.2f} ms")
+    return 0
+
+
+def _cmd_codecs(args: argparse.Namespace) -> int:
+    from repro.core import available_codecs, codec_tos, get_codec, profile_for
+    from repro.perfmodel import measure_profile_ratio
+
+    rng = np.random.default_rng(args.seed)
+    sample = (rng.standard_normal(1 << 14) * 0.004).astype(np.float32)
+    print(f"{'name':<16}{'tos':<6}{'kind':<10}{'ratio':<8}params")
+    for name in available_codecs():
+        codec = get_codec(name)
+        ratio = measure_profile_ratio(profile_for(name), sample=sample)
+        params = ", ".join(
+            f"{k}={v}" for k, v in codec.default_params().items()
+        ) or "-"
+        kind = "lossless" if codec.lossless else "lossy"
+        print(f"{name:<16}{codec_tos(name):#04x}  {kind:<10}{ratio:<8.2f}{params}")
     return 0
 
 
@@ -155,8 +224,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch-size", type=int, default=25)
     p.add_argument("--lr", type=float, default=0.02)
     p.add_argument("--compress", action="store_true")
+    p.add_argument(
+        "--codec", default=None, metavar="NAME",
+        help="registered codec for the gradient stream (see `repro codecs`)",
+    )
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("exchange", help="paper-scale exchange timing")
+    p.add_argument("--algorithm", default="ring", choices=("ring", "wa"))
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--iterations", type=int, default=1)
+    p.add_argument("--mbytes", type=float, default=10.0, help="gradient MB")
+    p.add_argument("--gbps", type=float, default=10.0)
+    p.add_argument(
+        "--codec", default=None, metavar="NAME",
+        help="registered codec for the gradient stream (see `repro codecs`)",
+    )
+    p.set_defaults(func=_cmd_exchange)
+
+    p = sub.add_parser("codecs", help="list registered gradient codecs")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_codecs)
 
     return parser
 

@@ -7,6 +7,9 @@ Public surface:
 - :class:`CompressedGradients` — unpacked + wire representations.
 - :mod:`repro.core.reference` — the bit-exact scalar specification.
 - Statistics helpers reproducing Table III / Fig 14 metrics.
+- :mod:`repro.core.registry` — the pluggable codec registry and
+  :class:`StreamProfile`, the per-stream codec/ToS property threaded
+  through the transport in place of a ``compressible`` boolean.
 """
 
 from .bounds import DEFAULT_BOUND, ErrorBound, PAPER_BOUNDS
@@ -14,6 +17,18 @@ from .codec import classify, compress, compressed_nbits, decompress, roundtrip
 from .container import CompressedGradients, GROUP_SIZE
 from .error_feedback import ErrorFeedbackCompressor, feedback_hook
 from . import gradient_file
+from .registry import (
+    RAW_STREAM,
+    CodecResult,
+    GradientCodec,
+    StreamProfile,
+    available_codecs,
+    codec_tos,
+    get_codec,
+    inceptionn_profile,
+    profile_for,
+    register_codec,
+)
 from .stats import (
     BitwidthDistribution,
     average_compression_ratio,
@@ -36,6 +51,16 @@ __all__ = [
     "DEFAULT_BOUND",
     "ErrorBound",
     "PAPER_BOUNDS",
+    "RAW_STREAM",
+    "CodecResult",
+    "GradientCodec",
+    "StreamProfile",
+    "available_codecs",
+    "codec_tos",
+    "get_codec",
+    "inceptionn_profile",
+    "profile_for",
+    "register_codec",
     "classify",
     "compress",
     "compressed_nbits",

@@ -10,8 +10,14 @@ from __future__ import annotations
 import numpy as np
 
 from .bounds import ErrorBound, FLOAT32_EXP_BIAS
-from .container import CompressedGradients
-from .tags import TAG_BIT8, TAG_BIT16, TAG_NO_COMPRESS, TAG_ZERO
+from .container import GROUP_SIZE, GROUP_TAG_BITS, CompressedGradients
+from .tags import (
+    PAYLOAD_BITS_LUT,
+    TAG_BIT8,
+    TAG_BIT16,
+    TAG_NO_COMPRESS,
+    TAG_ZERO,
+)
 
 _MANTISSA_BITS = 23
 _IMPLICIT_ONE = np.uint32(1 << _MANTISSA_BITS)
@@ -105,9 +111,13 @@ def roundtrip(values: np.ndarray, bound: ErrorBound) -> np.ndarray:
 
 
 def compressed_nbits(values: np.ndarray, bound: ErrorBound) -> int:
-    """Wire-format size in bits without materializing payloads."""
+    """Wire-format size in bits without materializing payloads.
+
+    Sized directly from the tag histogram — no payload array (let alone
+    a dummy :class:`CompressedGradients`) is allocated.
+    """
     tags = classify(values, bound)
-    dummy = CompressedGradients(
-        tags=tags, payloads=np.zeros(tags.shape, dtype=np.uint32), bound=bound
-    )
-    return dummy.compressed_bits
+    counts = np.bincount(tags, minlength=PAYLOAD_BITS_LUT.size)
+    payload_bits = int(counts @ PAYLOAD_BITS_LUT.astype(np.int64))
+    num_groups = -(-tags.size // GROUP_SIZE)
+    return num_groups * GROUP_TAG_BITS + payload_bits

@@ -19,6 +19,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.core import StreamProfile
 from repro.dnn.data import Dataset
 from repro.dnn.network import Sequential
 from repro.dnn.optim import SGD
@@ -61,11 +62,16 @@ def train_async_ps(
     cluster: Optional[ClusterConfig] = None,
     profile: ComputeProfile = ZERO_COMPUTE,
     compress_gradients: bool = False,
+    stream: Optional[StreamProfile] = None,
     max_staleness: Optional[int] = None,
     compute_jitter: float = 0.0,
     seed: int = 0,
 ) -> AsyncRunResult:
     """Asynchronous training: workers push g, server replies with w.
+
+    ``stream`` selects the codec profile of the gradient (push) leg;
+    ``compress_gradients`` is the deprecated boolean alias for the
+    cluster's default profile.
 
     ``compute_jitter`` adds a uniform(+/- fraction) perturbation to each
     worker's compute time so workers actually drift (the phenomenon
@@ -79,7 +85,7 @@ def train_async_ps(
     if iterations_per_worker < 1:
         raise ValueError("need at least one iteration")
     server_id = num_workers
-    config = cluster or ClusterConfig(num_nodes=num_workers + 1)
+    config = cluster or ClusterConfig(num_nodes=num_workers + 1, profile=stream)
     if config.num_nodes != num_workers + 1:
         raise ValueError("cluster config must have num_workers + 1 nodes")
     comm = ClusterComm(config)
@@ -141,7 +147,12 @@ def train_async_ps(
                 yield comm.sim.timeout(compute)
             loss, grad = trainer.local_gradient()
             result.losses.append(loss)
-            ep.isend(server_id, grad, compressible=compress_gradients)
+            ep.isend(
+                server_id,
+                grad,
+                profile=stream,
+                compressible=compress_gradients,
+            )
             weights = yield ep.recv(server_id)
             trainer.net.set_parameter_vector(weights)
             worker_progress[i] = iteration + 1

@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.core import StreamProfile
 from repro.dnn.data import Dataset
 from repro.dnn.network import Sequential
 from repro.dnn.optim import SGD
@@ -74,24 +75,29 @@ def train_distributed(
     cluster: Optional[ClusterConfig] = None,
     profile: ComputeProfile = ZERO_COMPUTE,
     compress_gradients: bool = False,
+    stream: Optional[StreamProfile] = None,
     eval_every: Optional[int] = None,
     seed: int = 0,
 ) -> DistributedRunResult:
     """Train replicas of ``build_net(seed)`` across a simulated cluster.
 
     ``algorithm`` is ``"wa"`` (worker-aggregator; one extra node hosts
-    the aggregator) or ``"ring"`` (INCEPTIONN, Algorithm 1).
-    ``compress_gradients`` tags gradient traffic ToS 0x28; it only takes
-    effect when ``cluster.compression`` enables the NIC engines.  In the
-    WA baseline only the gradient (up) leg can compress — weights are
-    loss-intolerant (paper Fig 4) — while the ring compresses every hop.
+    the aggregator) or ``"ring"`` (INCEPTIONN, Algorithm 1).  ``stream``
+    selects the codec profile of the gradient traffic (any registered
+    codec — INCEPTIONN, truncation, quantization, ...); the deprecated
+    ``compress_gradients`` flag tags it with the cluster's default
+    profile (ToS 0x28) instead.  Either only takes effect when the NIC
+    engines are enabled (``cluster.compression`` or a cluster profile).
+    In the WA baseline only the gradient (up) leg can compress — weights
+    are loss-intolerant (paper Fig 4) — while the ring compresses every
+    hop.
     """
     if algorithm not in ("wa", "ring"):
         raise ValueError(f"unknown algorithm {algorithm!r}")
     if num_workers < 2:
         raise ValueError("distributed training needs at least two workers")
     num_nodes = num_workers + 1 if algorithm == "wa" else num_workers
-    config = cluster or ClusterConfig(num_nodes=num_nodes)
+    config = cluster or ClusterConfig(num_nodes=num_nodes, profile=stream)
     if config.num_nodes != num_nodes:
         raise ValueError(
             f"cluster config has {config.num_nodes} nodes, run needs {num_nodes}"
@@ -126,6 +132,7 @@ def train_distributed(
             iterations,
             profile,
             compress_gradients,
+            stream,
             losses,
             phase,
             account_compute,
@@ -142,6 +149,7 @@ def train_distributed(
             iterations,
             profile,
             compress_gradients,
+            stream,
             losses,
             phase,
             account_compute,
@@ -181,6 +189,7 @@ def _spawn_ring_processes(
     iterations: int,
     profile: ComputeProfile,
     compress: bool,
+    stream: Optional[StreamProfile],
     losses: List[List[float]],
     phase: Dict[str, float],
     account_compute: Callable[[], None],
@@ -200,7 +209,12 @@ def _spawn_ring_processes(
             loss, grad = trainer.local_gradient()
             losses[iteration].append(loss)
             aggregate = yield from ring_exchange(
-                ep, grad, num_workers, compressible=compress, profile=profile
+                ep,
+                grad,
+                num_workers,
+                compressible=compress,
+                profile=profile,
+                stream=stream,
             )
             if i == 0:
                 # Each node reduces (N-1)/N of the vector during P1.
@@ -228,6 +242,7 @@ def _spawn_wa_processes(
     iterations: int,
     profile: ComputeProfile,
     compress: bool,
+    stream: Optional[StreamProfile],
     losses: List[List[float]],
     phase: Dict[str, float],
     account_compute: Callable[[], None],
@@ -250,7 +265,11 @@ def _spawn_wa_processes(
             loss, grad = trainer.local_gradient()
             losses[iteration].append(loss)
             weights = yield from worker_exchange(
-                ep, aggregator_id, grad, compress_gradients=compress
+                ep,
+                aggregator_id,
+                grad,
+                compress_gradients=compress,
+                stream=stream,
             )
             trainer.net.set_parameter_vector(weights)
             # Keep local optimizer iteration counters aligned with the

@@ -15,6 +15,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.core import StreamProfile
 from repro.transport.endpoint import ClusterComm
 
 from .node import ComputeProfile
@@ -66,9 +67,18 @@ class _ScopedEndpoint:
         self.comm = comm
         self.node_id = self._members.index(node)
 
-    def isend(self, dst: int, array: np.ndarray, compressible: bool = False):
+    def isend(
+        self,
+        dst: int,
+        array: np.ndarray,
+        profile: "StreamProfile | None" = None,
+        compressible=None,
+    ):
         return self._inner.isend(
-            self._members[dst], array, compressible=compressible
+            self._members[dst],
+            array,
+            profile=profile,
+            compressible=compressible,
         )
 
     def recv(self, src: int):
@@ -80,14 +90,16 @@ def hierarchical_exchange(
     node: int,
     vector: np.ndarray,
     layout: GroupLayout,
-    compressible: bool = False,
+    compressible=None,
     profile: "ComputeProfile | None" = None,
+    stream: "StreamProfile | None" = None,
 ):
     """Two-level gradient exchange for one node; returns the global sum.
 
     Level 1: ring inside the leaf group.  Level 2: leaders ring over the
     group sums.  Level 3: leaders send the global aggregate to their
-    group members (a gradient broadcast — still compressible).
+    group members (a gradient broadcast — still on the compressed
+    stream).  ``stream`` selects the codec profile for every leg.
     """
     group = layout.group_of(node)
     leader = group[0]
@@ -99,6 +111,7 @@ def hierarchical_exchange(
         len(group),
         compressible=compressible,
         profile=profile,
+        stream=stream,
     )
 
     leaders: List[int] = list(layout.leaders)
@@ -114,9 +127,12 @@ def hierarchical_exchange(
             len(leaders),
             compressible=compressible,
             profile=profile,
+            stream=stream,
         )
         events = [
-            ep.isend(member, global_sum, compressible=compressible)
+            ep.isend(
+                member, global_sum, profile=stream, compressible=compressible
+            )
             for member in group[1:]
         ]
         if events:
@@ -137,6 +153,7 @@ def train_hierarchical(
     cluster: "ClusterConfig | None" = None,
     profile: "ComputeProfile | None" = None,
     compress_gradients: bool = False,
+    stream: "StreamProfile | None" = None,
     seed: int = 0,
 ):
     """End-to-end training with the two-level exchange (Fig 1c).
@@ -151,11 +168,9 @@ def train_hierarchical(
     from .cluster import DistributedRunResult, PHASE_NAMES
     from .node import ZERO_COMPUTE
 
-    import numpy as np
-
     profile = profile or ZERO_COMPUTE
     num_nodes = sum(len(g) for g in layout.groups)
-    config = cluster or ClusterConfig(num_nodes=num_nodes)
+    config = cluster or ClusterConfig(num_nodes=num_nodes, profile=stream)
     if config.num_nodes != num_nodes:
         raise ValueError("cluster config node count must match the layout")
     comm = ClusterComm(config)
@@ -187,6 +202,7 @@ def train_hierarchical(
             aggregate = yield from hierarchical_exchange(
                 comm, i, grad, layout,
                 compressible=compress_gradients, profile=profile,
+                stream=stream,
             )
             if profile.update_s:
                 yield comm.sim.timeout(profile.update_s)

@@ -13,6 +13,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.core import StreamProfile
 from repro.transport.endpoint import Endpoint
 
 from .node import ComputeProfile
@@ -23,12 +24,17 @@ def worker_exchange(
     aggregator: int,
     gradient: np.ndarray,
     compress_gradients: bool = False,
+    stream: Optional[StreamProfile] = None,
 ):
     """One worker's iteration legs: send g up, receive w down.
 
-    Returns the updated weight vector from the aggregator.
+    ``stream`` selects the codec profile of the gradient leg (the
+    weight leg down is always raw).  Returns the updated weight vector
+    from the aggregator.
     """
-    ep.isend(aggregator, gradient, compressible=compress_gradients)
+    ep.isend(
+        aggregator, gradient, profile=stream, compressible=compress_gradients
+    )
     weights = yield ep.recv(aggregator)
     return weights
 

@@ -21,7 +21,13 @@ from .decompression_engine import (
     DecompressionError,
     TagDecoder,
 )
-from .nic import InceptionnNic, NicCounters
+from .nic import (
+    InceptionnNic,
+    NicCounters,
+    PacketEngine,
+    snappy_engine,
+    sz_engine,
+)
 from .timing import engine_latency_s, engine_throughput_bps, timing_model_for
 
 __all__ = [
@@ -43,6 +49,9 @@ __all__ = [
     "TagDecoder",
     "InceptionnNic",
     "NicCounters",
+    "PacketEngine",
+    "snappy_engine",
+    "sz_engine",
     "engine_latency_s",
     "engine_throughput_bps",
     "timing_model_for",

@@ -1,10 +1,16 @@
 """NIC datapath with integrated (de)compression engines (paper Fig 8).
 
 Transmit side: packets arrive from the host over the (modeled) DMA, a
-comparator checks the IP ToS byte, and payloads of packets tagged
-``0x28`` stream through the Compression Engine before entering the MAC
-FIFOs; everything else bypasses.  Receive side mirrors this with the
-Decompression Engine.
+comparator checks the IP ToS byte against the engine dispatch table,
+and payloads of matching packets stream through that ToS's engine
+before entering the MAC FIFOs; everything else bypasses.  Receive side
+mirrors this with the paired decompression engine.
+
+The INCEPTIONN engines sit at ToS ``0x28`` by default; additional
+byte-level engines (e.g. the snappy-like LZ or SZ-style codec) can be
+attached at other registered codec ToS bytes via
+:meth:`InceptionnNic.register_engine`, so the comparator dispatches on
+ToS → codec instead of assuming one engine.
 
 This is the *functional* model — it transforms real packet bytes
 bit-exactly.  Its timing surface is exported to the network simulator
@@ -13,15 +19,56 @@ via :func:`repro.hardware.timing.timing_model_for`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
 
 from repro.core.bounds import ErrorBound
-from repro.network.packet import Packet, segment_bytes
+from repro.network.packet import TOS_COMPRESS, Packet, segment_bytes
 
 from .axi import WORDS_PER_BURST
 from .compression_engine import DEFAULT_CLOCK_HZ, CompressionEngine
 from .decompression_engine import DecompressionEngine
+
+#: TX transform: payload bytes -> compressed bytes.
+CompressFn = Callable[[bytes], bytes]
+#: RX transform: (compressed bytes, num_values or None) -> payload bytes.
+DecompressFn = Callable[[bytes, Optional[int]], bytes]
+
+
+@dataclass(frozen=True)
+class PacketEngine:
+    """One ToS slot of the NIC's engine dispatch table."""
+
+    name: str
+    compress: CompressFn
+    decompress: DecompressFn
+
+
+def snappy_engine() -> PacketEngine:
+    """Byte-level lossless LZ engine (the snappy-like baseline)."""
+    from repro.baselines import snappy_like
+
+    return PacketEngine(
+        name="snappy_like",
+        compress=snappy_like.compress,
+        decompress=lambda blob, _num_values: snappy_like.decompress(blob),
+    )
+
+
+def sz_engine(bound: float = 2.0**-10) -> PacketEngine:
+    """Error-bounded SZ-style engine over float32 payload words."""
+    from repro.baselines import sz_like
+
+    def _compress(payload: bytes) -> bytes:
+        values = np.frombuffer(payload, dtype=np.float32)
+        return sz_like.compress(values, bound)
+
+    def _decompress(blob: bytes, _num_values: Optional[int]) -> bytes:
+        return sz_like.decompress(blob, bound).tobytes()
+
+    return PacketEngine(name="sz_like", compress=_compress, decompress=_decompress)
 
 
 @dataclass
@@ -59,7 +106,12 @@ class _CompressionContext:
 
 
 class InceptionnNic:
-    """A NIC with INCEPTIONN compression/decompression engines."""
+    """A NIC whose comparator dispatches ToS bytes to paired engines.
+
+    The INCEPTIONN compression/decompression engines are installed at
+    ToS ``0x28``; further engines attach with :meth:`register_engine`.
+    Packets whose ToS matches no table entry bypass untouched.
+    """
 
     def __init__(
         self,
@@ -75,20 +127,47 @@ class InceptionnNic:
         self.compressor = CompressionEngine(bound, num_blocks, clock_hz)
         self.decompressor = DecompressionEngine(bound, num_blocks, clock_hz)
         self.counters = NicCounters()
+        self._engines: Dict[int, PacketEngine] = {}
+        self.register_engine(
+            TOS_COMPRESS,
+            PacketEngine(
+                name="inceptionn",
+                compress=lambda payload: self.compressor.compress(payload)[0],
+                decompress=lambda blob, num_values: self.decompressor.decompress(
+                    blob, num_values
+                )[0],
+            ),
+        )
+
+    # -- engine dispatch table ---------------------------------------------------
+
+    def register_engine(self, tos: int, engine: PacketEngine) -> PacketEngine:
+        """Attach an engine pair at a ToS byte (replacing any previous)."""
+        if not 0 <= tos <= 0xFF:
+            raise ValueError(f"ToS must fit one byte, got {tos:#x}")
+        self._engines[tos] = engine
+        return engine
+
+    def engine_for(self, tos: int) -> Optional[PacketEngine]:
+        """The engine the comparator selects for ``tos`` (None = bypass)."""
+        if not self.enabled:
+            return None
+        return self._engines.get(tos)
 
     # -- per-packet datapath -----------------------------------------------------
 
     def process_tx(self, packet: Packet) -> Packet:
         """Transmit-side classification + compression of one packet."""
         self.counters.tx_packets += 1
-        if not (self.enabled and packet.compressible):
+        engine = self.engine_for(packet.tos)
+        if engine is None:
             self.counters.tx_bypassed += 1
             return packet
         if packet.payload is None:
             raise ValueError(
                 "bit-exact NIC processing needs materialized payload bytes"
             )
-        compressed, _ = self.compressor.compress(packet.payload)
+        compressed = engine.compress(packet.payload)
         self.counters.tx_compressed += 1
         self.counters.tx_payload_bytes_in += len(packet.payload)
         self.counters.tx_payload_bytes_out += len(compressed)
@@ -107,7 +186,8 @@ class InceptionnNic:
     def process_rx(self, packet: Packet) -> Packet:
         """Receive-side classification + decompression of one packet."""
         self.counters.rx_packets += 1
-        if not (self.enabled and packet.compressible):
+        engine = self.engine_for(packet.tos)
+        if engine is None:
             self.counters.rx_bypassed += 1
             return packet
         if packet.payload is None:
@@ -118,7 +198,7 @@ class InceptionnNic:
         num_values = (
             context.num_values if isinstance(context, _CompressionContext) else None
         )
-        restored, _ = self.decompressor.decompress(packet.payload, num_values)
+        restored = engine.decompress(packet.payload, num_values)
         self.counters.rx_decompressed += 1
         original_context = (
             context.original_context

@@ -14,7 +14,9 @@ from .packet import (
     TOS_COMPRESS,
     TOS_DEFAULT,
     Packet,
+    is_compressible_tos,
     packet_count,
+    register_compressible_tos,
     segment_bytes,
     segment_size,
 )
@@ -52,6 +54,8 @@ __all__ = [
     "TOS_COMPRESS",
     "TOS_DEFAULT",
     "Packet",
+    "is_compressible_tos",
+    "register_compressible_tos",
     "packet_count",
     "segment_bytes",
     "segment_size",

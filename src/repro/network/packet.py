@@ -4,6 +4,12 @@ The INCEPTIONN software stack marks compressible TCP streams by setting
 the IP header's Type-of-Service byte to the reserved value ``0x28``;
 the NIC's comparator classifies packets on that field.  We model exactly
 the fields that behaviour depends on: ToS, header size, payload bytes.
+
+The codec registry (:mod:`repro.core.registry`) generalizes the paper's
+single reserved value into a small ToS code space: every registered
+codec claims one ToS byte via :func:`register_compressible_tos`, and the
+NIC/simulator treat any claimed code as "run this stream through the
+engines".  ``0x28`` stays reserved for the INCEPTIONN codec.
 """
 
 from __future__ import annotations
@@ -15,6 +21,28 @@ from typing import Iterator, List, Optional
 TOS_COMPRESS = 0x28
 #: ToS for ordinary traffic.
 TOS_DEFAULT = 0x00
+
+#: ToS codes currently claimed by (de)compression engines.
+_COMPRESSIBLE_TOS = {TOS_COMPRESS}
+
+
+def register_compressible_tos(tos: int) -> int:
+    """Claim a ToS byte as marking engine-processed streams.
+
+    Idempotent; returns the registered code.  ``TOS_DEFAULT`` cannot be
+    claimed — ordinary traffic must always bypass the engines.
+    """
+    if not 0 <= tos <= 0xFF:
+        raise ValueError(f"ToS must fit one byte, got {tos:#x}")
+    if tos == TOS_DEFAULT:
+        raise ValueError("the default ToS cannot mark compressible streams")
+    _COMPRESSIBLE_TOS.add(tos)
+    return tos
+
+
+def is_compressible_tos(tos: int) -> bool:
+    """True when ``tos`` is claimed by a registered codec/engine."""
+    return tos in _COMPRESSIBLE_TOS
 
 #: Ethernet (14) + IPv4 (20) + TCP (20) header bytes.
 HEADER_BYTES = 54
@@ -63,7 +91,7 @@ class Packet:
     @property
     def compressible(self) -> bool:
         """True when the NIC should run this packet through the engines."""
-        return self.tos == TOS_COMPRESS
+        return is_compressible_tos(self.tos)
 
 
 def segment_bytes(

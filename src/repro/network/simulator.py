@@ -27,7 +27,7 @@ from typing import Dict, Iterable, List, Optional
 from .events import Event, Simulation
 from .link import Link
 from .loss import DeliveryFailure, LossModel, RetransmitPolicy
-from .packet import HEADER_BYTES, TOS_COMPRESS, TOS_DEFAULT, packet_count
+from .packet import HEADER_BYTES, TOS_DEFAULT, is_compressible_tos, packet_count
 from .topology import Route, Topology
 
 #: Engine streaming rate: 256 bits per cycle at 100 MHz.
@@ -138,7 +138,9 @@ class Network:
         """Send ``nbytes`` of application data from ``src`` to ``dst``.
 
         Returns an event firing at delivery with value
-        ``(payload, receipt)``.  When ``tos == TOS_COMPRESS`` and both
+        ``(payload, receipt)``.  When ``tos`` is a registered
+        compression code (``TOS_COMPRESS`` or any codec ToS claimed via
+        :func:`repro.network.packet.register_compressible_tos`) and both
         endpoint NICs have engines, the wire payload is
         ``compressed_nbytes`` (defaulting to ``nbytes`` when the caller
         did not measure it).
@@ -149,7 +151,7 @@ class Network:
             raise ValueError("compressed_nbytes cannot be negative")
         route = self.topology.route(src, dst)
         compress = (
-            tos == TOS_COMPRESS
+            is_compressible_tos(tos)
             and self.nics[src].compression
             and self.nics[dst].compression
         )

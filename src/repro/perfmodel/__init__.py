@@ -27,6 +27,7 @@ from .estimator import (
 from .exchange import (
     ExchangeResult,
     measure_compression_ratio,
+    measure_profile_ratio,
     simulate_ring_exchange,
     simulate_wa_exchange,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "fig12_estimates",
     "ExchangeResult",
     "measure_compression_ratio",
+    "measure_profile_ratio",
     "simulate_ring_exchange",
     "simulate_wa_exchange",
 ]

@@ -14,7 +14,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core import ErrorBound, compression_ratio
+from repro.core import ErrorBound, StreamProfile, compression_ratio
 from repro.core.bounds import DEFAULT_BOUND
 from repro.distributed.node import ComputeProfile, ZERO_COMPUTE
 from repro.distributed.ring import ring_exchange_sizes
@@ -25,6 +25,10 @@ from repro.transport.endpoint import ClusterComm, ClusterConfig
 #: for the ratio to be stable to three digits.
 RATIO_SAMPLE_VALUES = 1 << 18
 
+#: Smaller sample for arbitrary registry codecs, some of which run
+#: bit-serial Python loops (sz_like, snappy_like).
+PROFILE_RATIO_SAMPLE_VALUES = 1 << 14
+
 
 def measure_compression_ratio(
     spec: ModelSpec, bound: ErrorBound = DEFAULT_BOUND, seed: int = 0
@@ -33,6 +37,31 @@ def measure_compression_ratio(
     rng = np.random.default_rng(seed)
     sample = spec.synthetic_gradients(rng, size=RATIO_SAMPLE_VALUES)
     return compression_ratio(sample, bound)
+
+
+def measure_profile_ratio(
+    stream: StreamProfile,
+    sample: Optional[np.ndarray] = None,
+    seed: int = 0,
+) -> float:
+    """Compression ratio of a stream profile's codec on sampled gradients.
+
+    Sized (timing-only) sends cannot run the codec on real payloads, so
+    paper-scale simulations measure the ratio once on a gradient-like
+    sample and apply it to every message — the same methodology the
+    INCEPTIONN path uses via :func:`measure_compression_ratio`.
+    """
+    if not stream.compressing:
+        return 1.0
+    if sample is None:
+        rng = np.random.default_rng(seed)
+        sample = (
+            rng.standard_normal(PROFILE_RATIO_SAMPLE_VALUES) * 0.004
+        ).astype(np.float32)
+    result = stream.compress(sample)
+    # Sized sends reject ratios below 1 (the wire never inflates), so
+    # clamp expansion (e.g. lossless LZ on incompressible floats).
+    return max(1.0, sample.nbytes / max(1, result.payload_nbytes))
 
 
 @dataclass
@@ -63,6 +92,7 @@ def _make_comm(
     compression: bool,
     bound: ErrorBound,
     train_packets: int,
+    stream: Optional[StreamProfile] = None,
 ) -> ClusterComm:
     return ClusterComm(
         ClusterConfig(
@@ -71,6 +101,7 @@ def _make_comm(
             compression=compression,
             bound=bound,
             train_packets=train_packets,
+            profile=stream,
         )
     )
 
@@ -82,6 +113,7 @@ def simulate_wa_exchange(
     bandwidth_bps: float = 10e9,
     profile: ComputeProfile = ZERO_COMPUTE,
     compress_gradients: bool = False,
+    stream: Optional[StreamProfile] = None,
     gradient_ratio: Optional[float] = None,
     bound: ErrorBound = DEFAULT_BOUND,
     include_local_compute: bool = False,
@@ -89,8 +121,10 @@ def simulate_wa_exchange(
 ) -> ExchangeResult:
     """Worker-aggregator iterations: gather g up, sum, update, scatter w.
 
-    Only the gradient leg may compress (``compress_gradients``); the
-    weight leg is always raw.  ``include_local_compute`` prepends each
+    Only the gradient leg may compress (``stream`` or the deprecated
+    ``compress_gradients`` flag); the weight leg is always raw.  With a
+    ``stream`` and no ``gradient_ratio``, the codec's ratio is measured
+    on a sampled gradient.  ``include_local_compute`` prepends each
     iteration's forward/backward/copy time (for full-iteration studies
     like Table II); exchange-only studies (Fig 15) leave it off.
     """
@@ -98,8 +132,15 @@ def simulate_wa_exchange(
         raise ValueError("need at least two workers")
     aggregator = num_workers
     comm = _make_comm(
-        num_workers + 1, bandwidth_bps, compress_gradients, bound, train_packets
+        num_workers + 1,
+        bandwidth_bps,
+        compress_gradients,
+        bound,
+        train_packets,
+        stream,
     )
+    if stream is not None and gradient_ratio is None:
+        gradient_ratio = measure_profile_ratio(stream)
     sums = {"sum_s": 0.0, "update_s": 0.0}
 
     def worker(i: int):
@@ -110,6 +151,7 @@ def simulate_wa_exchange(
             ep.isend_sized(
                 aggregator,
                 nbytes,
+                profile=stream,
                 compressible=compress_gradients,
                 compression_ratio=gradient_ratio,
             )
@@ -155,17 +197,29 @@ def simulate_ring_exchange(
     bandwidth_bps: float = 10e9,
     profile: ComputeProfile = ZERO_COMPUTE,
     compress_gradients: bool = False,
+    stream: Optional[StreamProfile] = None,
     gradient_ratio: Optional[float] = None,
     bound: ErrorBound = DEFAULT_BOUND,
     include_local_compute: bool = False,
     train_packets: int = 4400,
 ) -> ExchangeResult:
-    """INCEPTIONN ring iterations at paper scale (both legs compressible)."""
+    """Ring iterations at paper scale (every hop on the gradient stream).
+
+    ``stream`` selects the codec profile (any registered codec); with no
+    ``gradient_ratio`` its ratio is measured on a sampled gradient.
+    """
     if num_workers < 2:
         raise ValueError("need at least two workers")
     comm = _make_comm(
-        num_workers, bandwidth_bps, compress_gradients, bound, train_packets
+        num_workers,
+        bandwidth_bps,
+        compress_gradients,
+        bound,
+        train_packets,
+        stream,
     )
+    if stream is not None and gradient_ratio is None:
+        gradient_ratio = measure_profile_ratio(stream)
     block_bytes = [s * 4 for s in ring_exchange_sizes(num_workers, nbytes // 4)]
     sums = {"sum_s": 0.0, "update_s": 0.0}
 
@@ -182,6 +236,7 @@ def simulate_ring_exchange(
                 ep.isend_sized(
                     successor,
                     block_bytes[send_idx],
+                    profile=stream,
                     compressible=compress_gradients,
                     compression_ratio=gradient_ratio,
                 )

@@ -2,9 +2,11 @@
 
 Each helper is a generator meant to be ``yield from``-ed inside a node's
 simulation process — the moral equivalent of calling an OpenMPI
-collective from the training loop.  The ``compressible`` flag is the
+collective from the training loop.  The ``profile`` argument is the
 reproduction of the paper's ``MPI_collective_communication_comp`` APIs:
-it tags the underlying streams with ToS 0x28.
+it tags the underlying streams with the profile codec's ToS byte (0x28
+for the default INCEPTIONN stream).  ``compressible`` survives as the
+deprecated boolean alias for the cluster's default profile.
 """
 
 from __future__ import annotations
@@ -13,14 +15,20 @@ from typing import Iterable, List, Optional
 
 import numpy as np
 
+from repro.core import StreamProfile
+
 from .endpoint import Endpoint
 
 
 def send_to(
-    ep: Endpoint, dst: int, array: np.ndarray, compressible: bool = False
+    ep: Endpoint,
+    dst: int,
+    array: np.ndarray,
+    profile: Optional[StreamProfile] = None,
+    compressible=None,
 ):
     """Blocking send (waits until delivered)."""
-    yield ep.isend(dst, array, compressible=compressible)
+    yield ep.isend(dst, array, profile=profile, compressible=compressible)
 
 
 def recv_from(ep: Endpoint, src: int):
@@ -34,7 +42,8 @@ def reduce_to_root(
     root: int,
     vector: np.ndarray,
     sources: Optional[Iterable[int]] = None,
-    compressible: bool = False,
+    profile: Optional[StreamProfile] = None,
+    compressible=None,
 ):
     """Sum-reduce vectors onto ``root`` (the aggregator's gather leg).
 
@@ -43,7 +52,7 @@ def reduce_to_root(
     (including its own contribution, when it has one).
     """
     if ep.node_id != root:
-        yield ep.isend(root, vector, compressible=compressible)
+        yield ep.isend(root, vector, profile=profile, compressible=compressible)
         return None
     total = np.array(vector, dtype=np.float32, copy=True)
     srcs = list(sources if sources is not None else [])
@@ -58,14 +67,15 @@ def broadcast_from_root(
     root: int,
     vector: Optional[np.ndarray],
     destinations: Optional[Iterable[int]] = None,
-    compressible: bool = False,
+    profile: Optional[StreamProfile] = None,
+    compressible=None,
 ):
     """Root sends ``vector`` to every destination; others receive it."""
     if ep.node_id == root:
         if vector is None:
             raise ValueError("root must supply the vector to broadcast")
         events = [
-            ep.isend(dst, vector, compressible=compressible)
+            ep.isend(dst, vector, profile=profile, compressible=compressible)
             for dst in destinations or []
         ]
         if events:

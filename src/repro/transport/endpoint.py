@@ -1,22 +1,27 @@
 """Message-passing endpoints over the simulated network.
 
 This is the reproduction of the paper's software stack (Fig 11): an
-OpenMPI-like layer whose ``collec_comm_comp`` APIs set the socket ToS to
-0x28 so the NIC engines pick the stream up.  Endpoints move real NumPy
-arrays between simulated nodes: the *values* a receiver observes are the
-values the codec reconstructs (lossy when compression is on), and the
+OpenMPI-like layer whose ``collec_comm_comp`` APIs set the socket ToS so
+the NIC engines pick the stream up.  Endpoints move real NumPy arrays
+between simulated nodes: the *values* a receiver observes are the values
+the stream's codec reconstructs (lossy when compression is on), and the
 *bytes* the network simulator clocks are the codec's measured compressed
 sizes — the functional and timing domains stay coupled.
+
+Which codec (and ToS byte) a message uses is a per-stream property: a
+:class:`repro.core.StreamProfile` passed to ``isend``.  The historical
+``compressible`` boolean survives only as a deprecated keyword alias
+that maps to the cluster's default profile.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.core import ErrorBound, compress, decompress
+from repro.core import ErrorBound, RAW_STREAM, StreamProfile, inceptionn_profile
 from repro.core.bounds import DEFAULT_BOUND
 from repro.hardware.timing import engine_latency_s, engine_throughput_bps
 from repro.network import (
@@ -26,7 +31,6 @@ from repro.network import (
     Simulation,
     Store,
     SwitchedStar,
-    TOS_COMPRESS,
     TOS_DEFAULT,
 )
 from repro.network.topology import DEFAULT_BANDWIDTH_BPS
@@ -42,11 +46,19 @@ class TransferLog:
     wire_payload_nbytes: int
     compressed: bool
     sent_at: float
+    #: Name of the codec that processed the stream (None for raw).
+    codec: Optional[str] = None
 
 
 @dataclass
 class ClusterConfig:
-    """Knobs of a simulated training cluster's communication plane."""
+    """Knobs of a simulated training cluster's communication plane.
+
+    ``profile`` selects the default stream profile applied to gradient
+    traffic (and implies NIC engines on every node).  ``compression`` is
+    the deprecated boolean shim: ``True`` maps to the default INCEPTIONN
+    profile at ``bound``, exactly the paper's ToS-0x28 contract.
+    """
 
     num_nodes: int
     bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS
@@ -58,6 +70,15 @@ class ClusterConfig:
     switch_delay_s: float = 1e-6
     mss: int = 1460
     train_packets: int = 44
+    profile: Optional[StreamProfile] = None
+
+    def default_profile(self) -> StreamProfile:
+        """The profile ``compressible``-style callers resolve to."""
+        if self.profile is not None:
+            return self.profile
+        if self.compression:
+            return inceptionn_profile(self.bound)
+        return RAW_STREAM
 
 
 class ClusterComm:
@@ -65,6 +86,7 @@ class ClusterComm:
 
     def __init__(self, config: ClusterConfig) -> None:
         self.config = config
+        self.default_profile = config.default_profile()
         self.sim = Simulation()
         self.topology = SwitchedStar(
             self.sim,
@@ -74,7 +96,7 @@ class ClusterComm:
             switch_delay_s=config.switch_delay_s,
         )
         nic = NicTimingModel(
-            compression=config.compression,
+            compression=config.compression or config.profile is not None,
             engine_latency_s=engine_latency_s(config.engine_clock_hz),
             engine_throughput_bps=engine_throughput_bps(
                 config.engine_blocks, config.engine_clock_hz
@@ -98,7 +120,7 @@ class ClusterComm:
 
     def compression_active(self) -> bool:
         """Engines present on (all) NICs?"""
-        return self.config.compression
+        return self.config.compression or self.config.profile is not None
 
     def run(self, until: Optional[float] = None) -> float:
         """Drive the simulation; returns the final virtual time."""
@@ -141,27 +163,50 @@ class Endpoint:
         else:
             self._inbox(src).put(payload)
 
+    def _resolve_profile(
+        self, profile: Optional[StreamProfile], compressible
+    ) -> StreamProfile:
+        """Map the caller's stream selection to a concrete profile.
+
+        An explicit ``profile`` wins; the deprecated ``compressible``
+        flag resolves to the cluster's default profile (the INCEPTIONN
+        ToS-0x28 stream under the legacy ``compression`` shim).
+        """
+        if profile is not None:
+            return profile
+        if compressible:
+            return self.comm.default_profile
+        return RAW_STREAM
+
     def isend(
-        self, dst: int, array: np.ndarray, compressible: bool = False
+        self,
+        dst: int,
+        array: np.ndarray,
+        profile: Optional[StreamProfile] = None,
+        compressible=None,
     ) -> Event:
         """Non-blocking send; returns the delivery event.
 
-        With ``compressible=True`` and engines present, the array is
-        passed through the real codec: the receiver sees the lossy
+        With a compressing ``profile`` and engines present, the array is
+        passed through the profile's codec: the receiver sees the lossy
         reconstruction and the wire carries the measured compressed
-        bytes under ToS 0x28.
+        bytes under the codec's ToS byte.  ``compressible`` is the
+        deprecated boolean alias for the cluster default profile.
         """
+        stream = self._resolve_profile(profile, compressible)
         arr = np.ascontiguousarray(array, dtype=np.float32)
         tos = TOS_DEFAULT
         wire_payload = arr.nbytes
         compressed_nbytes = None
         deliver = arr
-        if compressible and self.comm.compression_active():
-            tos = TOS_COMPRESS
-            cg = compress(arr.reshape(-1), self.comm.config.bound)
-            compressed_nbytes = cg.compressed_nbytes
+        codec_name = None
+        if stream.compressing and self.comm.compression_active():
+            tos = stream.resolved_tos
+            result = stream.compress(arr.reshape(-1))
+            compressed_nbytes = result.payload_nbytes
             wire_payload = compressed_nbytes
-            deliver = decompress(cg).reshape(arr.shape)
+            deliver = result.values.reshape(arr.shape)
+            codec_name = stream.codec
         self.comm.transfers.append(
             TransferLog(
                 src=self.node_id,
@@ -170,6 +215,7 @@ class Endpoint:
                 wire_payload_nbytes=wire_payload,
                 compressed=compressed_nbytes is not None,
                 sent_at=self.comm.sim.now,
+                codec=codec_name,
             )
         )
         event = self.comm.network.send(
@@ -190,27 +236,33 @@ class Endpoint:
         self,
         dst: int,
         nbytes: int,
-        compressible: bool = False,
+        profile: Optional[StreamProfile] = None,
         compression_ratio: Optional[float] = None,
+        compressible=None,
     ) -> Event:
         """Timing-only send: bytes move, no array is materialized.
 
         Paper-scale experiments (hundreds of MB per message) use this
         path with a compression ratio measured on sampled gradients, so
         the wire timing stays faithful without allocating the payload.
+        The profile supplies the stream's ToS; the ratio stays
+        caller-measured because there are no values to compress here.
         """
         if nbytes < 0:
             raise ValueError("nbytes cannot be negative")
+        stream = self._resolve_profile(profile, compressible)
         tos = TOS_DEFAULT
         compressed_nbytes = None
         wire_payload = nbytes
-        if compressible and self.comm.compression_active():
-            tos = TOS_COMPRESS
+        codec_name = None
+        if stream.compressing and self.comm.compression_active():
+            tos = stream.resolved_tos
             ratio = compression_ratio if compression_ratio else 1.0
             if ratio < 1.0:
                 raise ValueError("compression ratio cannot be below 1")
             compressed_nbytes = int(round(nbytes / ratio))
             wire_payload = compressed_nbytes
+            codec_name = stream.codec
         self.comm.transfers.append(
             TransferLog(
                 src=self.node_id,
@@ -219,6 +271,7 @@ class Endpoint:
                 wire_payload_nbytes=wire_payload,
                 compressed=compressed_nbytes is not None,
                 sent_at=self.comm.sim.now,
+                codec=codec_name,
             )
         )
         event = self.comm.network.send(
