@@ -1,0 +1,33 @@
+"""Repo-aware static analysis for the INCEPTIONN reproduction.
+
+The runtime cannot cheaply police the invariants the codebase rests on:
+gradients staying float32, every codec owning exactly one ToS byte, wire
+sizes counted without allocating per-value containers, public APIs
+carrying type annotations.  This package is an AST-based linter that
+checks them *before* tests run:
+
+* :mod:`repro.analysis.engine` — rule engine: file walking, suppression
+  comments (``# repro-lint: disable=R1``), finding collection, JSON and
+  human output.
+* :mod:`repro.analysis.project` — whole-program facts (codec
+  registrations, reserved ToS constants) gathered in a pre-pass so rules
+  can cross-check files against each other.
+* :mod:`repro.analysis.rules` — the rule set (R1..R5); each rule is a
+  class with ``visit_*`` hooks, so later PRs add rules cheaply.
+
+Run it as ``repro lint [paths]`` or ``python -m repro.analysis``.
+"""
+
+from .engine import Finding, LintRun, lint_paths
+from .output import format_human, format_json
+from .rules import ALL_RULES, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintRun",
+    "Rule",
+    "format_human",
+    "format_json",
+    "lint_paths",
+]

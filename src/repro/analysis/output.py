@@ -1,0 +1,59 @@
+"""Finding serialization: human-readable lines and a stable JSON schema.
+
+The JSON document is versioned so CI consumers can rely on it:
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "files_checked": 42,
+      "findings": [
+        {"rule": "R1", "name": "dtype-discipline", "path": "...",
+         "line": 10, "col": 5, "message": "..."}
+      ],
+      "counts": {"R1": 1}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Sequence
+
+from .engine import Finding
+
+#: Bumped whenever a field is added/renamed in the JSON document.
+JSON_SCHEMA_VERSION = 1
+
+
+def finding_counts(findings: Sequence[Finding]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return counts
+
+
+def format_human(findings: Sequence[Finding], files_checked: int) -> str:
+    lines = [finding.render() for finding in findings]
+    if findings:
+        by_rule = ", ".join(
+            f"{rule}: {count}"
+            for rule, count in sorted(finding_counts(findings).items())
+        )
+        lines.append(
+            f"{len(findings)} finding(s) in {files_checked} file(s) "
+            f"({by_rule})"
+        )
+    else:
+        lines.append(f"0 findings in {files_checked} file(s)")
+    return "\n".join(lines)
+
+
+def format_json(findings: Sequence[Finding], files_checked: int) -> str:
+    document = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": files_checked,
+        "findings": [finding.as_dict() for finding in findings],
+        "counts": finding_counts(findings),
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -1,0 +1,111 @@
+"""R5 — public functions in ``src/repro`` carry type annotations.
+
+The mypy gate enforces ``disallow_untyped_defs`` on the four packages
+the wire contract lives in (core, network, hardware, transport); this
+rule extends the discipline repo-wide for the *public* surface, and —
+unlike mypy — runs with zero third-party dependencies, so the check is
+available everywhere the code is.
+
+A function is public when its name does not start with ``_`` and it is
+defined at module or class level (nested helpers are implementation
+detail).  It must annotate its return type and every parameter;
+``self``/``cls`` receivers are exempt.
+
+``strict=True`` (used by the test suite to mirror mypy's
+``disallow_untyped_defs`` on the strict packages) additionally covers
+private and dunder functions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..engine import RuleContext
+from .base import Rule
+
+_FunctionDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _decorator_names(node: _FunctionDef) -> List[str]:
+    names = []
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name):
+            names.append(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.append(target.attr)
+    return names
+
+
+class AnnotationsRule(Rule):
+    code = "R5"
+    name = "public-annotations"
+    description = (
+        "public functions must annotate their parameters and return type"
+    )
+
+    def __init__(
+        self,
+        strict: bool = False,
+        packages: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.strict = strict
+        self.packages = tuple(packages) if packages is not None else None
+
+    def applies_to(self, ctx: RuleContext) -> bool:
+        if self.packages is None:
+            return True
+        return ctx.package in self.packages
+
+    def visit_FunctionDef(
+        self, node: ast.FunctionDef, ctx: RuleContext
+    ) -> None:
+        self._check(node, ctx)
+
+    def visit_AsyncFunctionDef(
+        self, node: ast.AsyncFunctionDef, ctx: RuleContext
+    ) -> None:
+        self._check(node, ctx)
+
+    def _check(self, node: _FunctionDef, ctx: RuleContext) -> None:
+        parent = ctx.parent(node)
+        nested = isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef))
+        if not self.strict:
+            if node.name.startswith("_") or nested:
+                return
+        is_method = isinstance(parent, ast.ClassDef)
+        missing = _missing_annotations(node, is_method)
+        if missing:
+            ctx.report(
+                node,
+                f"function {node.name!r} is missing annotations for: "
+                f"{', '.join(missing)}",
+            )
+
+
+def _missing_annotations(node: _FunctionDef, is_method: bool) -> List[str]:
+    missing: List[str] = []
+    args = node.args
+    positional: Tuple[ast.arg, ...] = tuple(args.posonlyargs) + tuple(args.args)
+    skip_receiver = (
+        is_method
+        and "staticmethod" not in _decorator_names(node)
+        and bool(positional)
+        and positional[0].arg in ("self", "cls")
+    )
+    if skip_receiver:
+        positional = positional[1:]
+    for arg in positional:
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    for arg in args.kwonlyargs:
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    if args.vararg is not None and args.vararg.annotation is None:
+        missing.append(f"*{args.vararg.arg}")
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        missing.append(f"**{args.kwarg.arg}")
+    if node.returns is None:
+        missing.append("return")
+    return missing

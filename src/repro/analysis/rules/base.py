@@ -1,0 +1,66 @@
+"""The rule base class.
+
+A rule is a class with:
+
+* ``code``/``name``/``description`` — identity (code for suppression
+  comments and ``--select``, name for humans);
+* ``applies_to(ctx)`` — per-file gate (scope rules to packages here);
+* ``visit_<NodeType>(node, ctx)`` hooks — called for every matching AST
+  node of every applicable file, with ``ctx.report(node, message)`` to
+  emit findings (suppressions are applied by the engine);
+* ``finish(project, reporter)`` — optional whole-program phase run once
+  after every file, for cross-file invariants.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from ..engine import Reporter, RuleContext
+from ..project import ProjectFacts
+
+
+class Rule:
+    """Base class every lint rule derives from."""
+
+    code: str = "R?"
+    name: str = "unnamed"
+    description: str = ""
+
+    def applies_to(self, ctx: RuleContext) -> bool:
+        return True
+
+    def finish(self, project: ProjectFacts, reporter: Reporter) -> None:
+        return None
+
+    def report_at(
+        self,
+        reporter: Reporter,
+        path: str,
+        line: int,
+        col: int,
+        message: str,
+    ) -> None:
+        """Emit a finding at an explicit location (finish-phase rules)."""
+        reporter.report(self, path, line, col, message)
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """Terminal name of a call target: ``np.zeros`` -> ``zeros``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def is_numpy_attr(node: ast.AST, attr: str) -> bool:
+    """True for ``np.<attr>`` / ``numpy.<attr>`` references."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == attr
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("np", "numpy")
+    )

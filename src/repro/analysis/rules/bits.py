@@ -1,0 +1,85 @@
+"""R4 — bit-accounting functions stay allocation-free.
+
+Wire-size claims (paper Table III, Figs 8-10) are computed by functions
+named ``*_bits``/``*_nbits``.  They run on the hot path — per message,
+per group — and PR 1 established the ``np.bincount``-style vectorized
+counting idiom for them.  Building Python containers (lists, dicts,
+sets, comprehensions) per call re-introduces the per-value Python loop
+the idiom exists to avoid, so this rule bans container construction
+inside any function whose name matches.  Generator expressions and
+tuples are allowed: they are O(1) or fixed-size.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Union
+
+from ..engine import RuleContext
+from .base import Rule
+
+_CONTAINER_NODES = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+)
+
+_CONTAINER_BUILTINS = frozenset({"list", "dict", "set"})
+
+_FunctionDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _is_bits_function(name: str) -> bool:
+    return name.endswith("_bits") or name.endswith("_nbits")
+
+
+class BitAccountingRule(Rule):
+    code = "R4"
+    name = "bit-accounting"
+    description = (
+        "*_bits/*_nbits functions must count vectorized (np.bincount "
+        "style), not allocate Python containers"
+    )
+
+    def visit_FunctionDef(
+        self, node: ast.FunctionDef, ctx: RuleContext
+    ) -> None:
+        self._check(node, ctx)
+
+    def visit_AsyncFunctionDef(
+        self, node: ast.AsyncFunctionDef, ctx: RuleContext
+    ) -> None:
+        self._check(node, ctx)
+
+    def _check(self, node: _FunctionDef, ctx: RuleContext) -> None:
+        if not _is_bits_function(node.name):
+            return
+        for child in ast.walk(node):
+            if child is node:
+                continue
+            # Nested defs get their own visit; don't double-report.
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(child, _CONTAINER_NODES):
+                kind = type(child).__name__
+                ctx.report(
+                    child,
+                    f"{kind} allocated inside bit-accounting function "
+                    f"{node.name!r}; count with vectorized ops "
+                    f"(np.bincount / lookup tables) instead",
+                )
+            elif isinstance(child, ast.Call):
+                func = child.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in _CONTAINER_BUILTINS
+                ):
+                    ctx.report(
+                        child,
+                        f"{func.id}() allocated inside bit-accounting "
+                        f"function {node.name!r}; count with vectorized "
+                        f"ops instead",
+                    )

@@ -1,0 +1,60 @@
+"""R2 — no new call sites of the deprecated compression shims.
+
+PR 1 replaced the ``compressible: bool`` threading and the
+``ClusterConfig.compression`` flag with :class:`repro.core.StreamProfile`.
+The shims survive for external callers — with a ``DeprecationWarning`` —
+but in-repo code must use profiles, or the deprecation can never
+complete.  Flags:
+
+* any call passing a ``compressible=`` keyword argument;
+* ``ClusterConfig(..., compression=...)`` construction.
+
+The shim module itself (``repro.transport.endpoint``, which defines the
+keywords and emits the warning) is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import RuleContext
+from .base import Rule
+
+#: Modules that implement the shims and may keep mentioning them.
+SHIM_MODULES = frozenset({"repro.transport.endpoint"})
+
+
+class DeprecatedApiRule(Rule):
+    code = "R2"
+    name = "deprecated-api"
+    description = (
+        "in-repo code must pass StreamProfile, not the deprecated "
+        "compressible=/ClusterConfig(compression=...) shims"
+    )
+
+    def applies_to(self, ctx: RuleContext) -> bool:
+        return ctx.module not in SHIM_MODULES
+
+    def visit_Call(self, node: ast.Call, ctx: RuleContext) -> None:
+        for kw in node.keywords:
+            if kw.arg == "compressible":
+                ctx.report(
+                    node,
+                    "deprecated compressible= keyword; pass a "
+                    "StreamProfile via profile=",
+                )
+            elif kw.arg == "compression" and self._is_cluster_config(node):
+                ctx.report(
+                    node,
+                    "deprecated ClusterConfig(compression=...); pass "
+                    "profile=inceptionn_profile(...) instead",
+                )
+
+    @staticmethod
+    def _is_cluster_config(node: ast.Call) -> bool:
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id == "ClusterConfig"
+        if isinstance(func, ast.Attribute):
+            return func.attr == "ClusterConfig"
+        return False

@@ -1,0 +1,124 @@
+"""R1 — dtype discipline on the gradient path.
+
+Everything the paper's codec touches is float32 in (-1, 1) (Sec. V-A);
+a float64 array sneaking into the gradient path silently doubles wire
+sizes and breaks the bit-exact hardware validation.  NumPy's default
+dtype for fresh arrays is float64, so inside gradient-path packages this
+rule requires every array construction to say what it means:
+
+* ``np.zeros/ones/empty/full/array/asarray/ascontiguousarray/arange/
+  linspace/fromiter(...)`` must pass ``dtype=`` explicitly (any dtype —
+  index arrays are fine, the point is that the choice is visible) or be
+  immediately ``.astype(...)``-wrapped;
+* explicit float64 is flagged wherever it appears: ``dtype=np.float64``
+  / ``dtype=float`` / ``dtype="float64"`` in any call, ``.astype`` to
+  any of those, and ``np.float64(...)`` scalars.  Measurement code that
+  genuinely wants double precision carries a suppression comment.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import RuleContext
+from .base import Rule, is_numpy_attr
+
+#: Packages whose modules carry gradient values end to end.
+GRADIENT_PATH_PACKAGES = (
+    "core",
+    "transport",
+    "distributed",
+    "hardware",
+    "baselines",
+    "dnn",
+)
+
+#: NumPy constructors that default to float64 (or an unstated dtype).
+DEFAULT_DTYPE_CONSTRUCTORS = frozenset(
+    {
+        "zeros",
+        "ones",
+        "empty",
+        "full",
+        "array",
+        "asarray",
+        "ascontiguousarray",
+        "arange",
+        "linspace",
+        "fromiter",
+    }
+)
+
+_FLOAT64_STRINGS = frozenset({"float64", "double", "f8", "<f8", ">f8", "=f8"})
+
+
+def _is_float64_dtype(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name) and node.id == "float":
+        return True
+    if is_numpy_attr(node, "float64") or is_numpy_attr(node, "double"):
+        return True
+    if isinstance(node, ast.Constant) and node.value in _FLOAT64_STRINGS:
+        return True
+    return False
+
+
+class DtypeDisciplineRule(Rule):
+    code = "R1"
+    name = "dtype-discipline"
+    description = (
+        "gradient-path array constructions must state an explicit dtype "
+        "and must never name float64"
+    )
+
+    def applies_to(self, ctx: RuleContext) -> bool:
+        return ctx.package in GRADIENT_PATH_PACKAGES
+
+    def visit_Call(self, node: ast.Call, ctx: RuleContext) -> None:
+        self._check_explicit_float64(node, ctx)
+        self._check_constructor_dtype(node, ctx)
+
+    def _check_explicit_float64(self, node: ast.Call, ctx: RuleContext) -> None:
+        func = node.func
+        # np.float64(x) scalars.
+        if is_numpy_attr(func, "float64") or is_numpy_attr(func, "double"):
+            ctx.report(node, "float64 scalar constructed on the gradient path")
+            return
+        # x.astype(float64-ish)
+        if isinstance(func, ast.Attribute) and func.attr == "astype":
+            target = node.args[0] if node.args else None
+            for kw in node.keywords:
+                if kw.arg == "dtype":
+                    target = kw.value
+            if target is not None and _is_float64_dtype(target):
+                ctx.report(node, "cast to float64 on the gradient path")
+            return
+        # dtype=float64-ish in any call.
+        for kw in node.keywords:
+            if kw.arg == "dtype" and _is_float64_dtype(kw.value):
+                ctx.report(node, "dtype=float64 on the gradient path")
+
+    def _check_constructor_dtype(
+        self, node: ast.Call, ctx: RuleContext
+    ) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr not in DEFAULT_DTYPE_CONSTRUCTORS:
+            return
+        if not (
+            isinstance(func.value, ast.Name)
+            and func.value.id in ("np", "numpy")
+        ):
+            return
+        if any(kw.arg == "dtype" for kw in node.keywords):
+            return
+        # np.arange(n).astype(np.float32): the wrapping cast is the
+        # explicit dtype — skip, the astype target is checked above.
+        parent = ctx.parent(node)
+        if isinstance(parent, ast.Attribute) and parent.attr == "astype":
+            return
+        ctx.report(
+            node,
+            f"np.{func.attr}(...) without an explicit dtype= on the "
+            f"gradient path (NumPy defaults to float64)",
+        )

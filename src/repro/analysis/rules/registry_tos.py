@@ -1,0 +1,161 @@
+"""R3 — codec registry / ToS code-space consistency.
+
+The NIC comparator dispatches engines purely on the IP header's ToS
+byte, so the codec registry's ToS assignments are a wire contract:
+
+* every ``register_codec(..., tos=...)`` call must claim a statically
+  resolvable, unique, one-byte, non-default ToS value;
+* the paper's reserved ``0x28`` (``TOS_COMPRESS`` in ``network.packet``)
+  belongs to the ``inceptionn`` codec and nobody else;
+* no codec wire name is registered twice;
+* every ``StreamProfile(codec="<name>")`` / ``profile_for("<name>")``
+  literal must name a codec some linted file registers (checked only
+  when the linted set contains registrations at all, so linting a
+  subtree does not false-positive).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict
+
+from ..engine import Reporter, RuleContext
+from ..project import CodecRegistration, ProjectFacts
+from .base import Rule
+
+
+class RegistryTosRule(Rule):
+    code = "R3"
+    name = "registry-tos"
+    description = (
+        "codec registrations must claim unique reserved ToS bytes and "
+        "StreamProfile literals must name registered codecs"
+    )
+
+    def visit_Call(self, node: ast.Call, ctx: RuleContext) -> None:
+        if not ctx.project.registrations:
+            return
+        callee = node.func
+        callee_name = (
+            callee.id
+            if isinstance(callee, ast.Name)
+            else callee.attr
+            if isinstance(callee, ast.Attribute)
+            else None
+        )
+        codec_expr: ast.expr | None = None
+        if callee_name == "StreamProfile":
+            if node.args:
+                codec_expr = node.args[0]
+            for kw in node.keywords:
+                if kw.arg == "codec":
+                    codec_expr = kw.value
+        elif callee_name == "profile_for":
+            if node.args:
+                codec_expr = node.args[0]
+            for kw in node.keywords:
+                if kw.arg == "name":
+                    codec_expr = kw.value
+        if (
+            isinstance(codec_expr, ast.Constant)
+            and isinstance(codec_expr.value, str)
+            and codec_expr.value not in ctx.project.registered_names
+        ):
+            ctx.report(
+                node,
+                f"codec {codec_expr.value!r} is not registered anywhere "
+                f"in the linted tree",
+            )
+
+    def finish(self, project: ProjectFacts, reporter: Reporter) -> None:
+        seen_tos: Dict[int, CodecRegistration] = {}
+        seen_names: Dict[str, CodecRegistration] = {}
+        for reg in project.registrations:
+            label = reg.codec_name or reg.codec_class or "<unknown codec>"
+            if not reg.tos_resolvable:
+                self.report_at(
+                    reporter,
+                    reg.path,
+                    reg.line,
+                    reg.col,
+                    f"ToS for codec {label!r} is not statically resolvable; "
+                    f"use an int literal or a module constant",
+                )
+            elif reg.tos is not None:
+                self._check_tos(project, reporter, reg, label)
+                prior = seen_tos.get(reg.tos)
+                if prior is not None:
+                    prior_label = (
+                        prior.codec_name or prior.codec_class or "<unknown>"
+                    )
+                    self.report_at(
+                        reporter,
+                        reg.path,
+                        reg.line,
+                        reg.col,
+                        f"ToS {reg.tos:#04x} already claimed by "
+                        f"{prior_label!r} at {prior.path}:{prior.line}",
+                    )
+                else:
+                    seen_tos[reg.tos] = reg
+            if reg.codec_name is not None:
+                prior = seen_names.get(reg.codec_name)
+                if prior is not None:
+                    self.report_at(
+                        reporter,
+                        reg.path,
+                        reg.line,
+                        reg.col,
+                        f"codec name {reg.codec_name!r} already registered "
+                        f"at {prior.path}:{prior.line}",
+                    )
+                else:
+                    seen_names[reg.codec_name] = reg
+
+    def _check_tos(
+        self,
+        project: ProjectFacts,
+        reporter: Reporter,
+        reg: CodecRegistration,
+        label: str,
+    ) -> None:
+        assert reg.tos is not None
+        if not 0 <= reg.tos <= 0xFF:
+            self.report_at(
+                reporter,
+                reg.path,
+                reg.line,
+                reg.col,
+                f"ToS {reg.tos:#x} for {label!r} does not fit one byte",
+            )
+            return
+        if reg.tos == project.tos_default:
+            self.report_at(
+                reporter,
+                reg.path,
+                reg.line,
+                reg.col,
+                f"codec {label!r} claims the default ToS "
+                f"{project.tos_default:#04x} reserved for raw traffic",
+            )
+        if reg.tos == project.tos_compress and reg.codec_name not in (
+            None,
+            "inceptionn",
+        ):
+            self.report_at(
+                reporter,
+                reg.path,
+                reg.line,
+                reg.col,
+                f"ToS {project.tos_compress:#04x} is the paper's reserved "
+                f"INCEPTIONN stream; {label!r} may not claim it",
+            )
+        if reg.codec_name == "inceptionn" and reg.tos != project.tos_compress:
+            self.report_at(
+                reporter,
+                reg.path,
+                reg.line,
+                reg.col,
+                f"'inceptionn' must keep the paper's reserved ToS "
+                f"{project.tos_compress:#04x}, not {reg.tos:#04x}",
+            )

@@ -9,6 +9,8 @@ motivation for the error-bounded codec.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 #: Truncation widths evaluated in the paper.
@@ -44,7 +46,9 @@ def truncation_max_error(values: np.ndarray, bits: int) -> float:
     return float(np.max(np.abs(arr[finite] - out[finite])))
 
 
-def make_truncation_hook(bits: int, target: str = "gradient"):
+def make_truncation_hook(
+    bits: int, target: str = "gradient"
+) -> Callable[[int, np.ndarray], np.ndarray]:
     """A ``gradient_hook`` for :func:`repro.dnn.train_single_node`.
 
     ``target`` selects what Fig 4 truncates: ``"gradient"`` perturbs g

@@ -9,6 +9,7 @@ Subcommands
 ``train``       run the simulated-cluster training demo
 ``exchange``    paper-scale gradient-exchange timing under any codec
 ``codecs``      list registered gradient codecs and their measured ratios
+``lint``        repo-aware static analysis (see ``repro lint --list-rules``)
 """
 
 from __future__ import annotations
@@ -100,11 +101,14 @@ def _stream_for(args: argparse.Namespace):
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.core import inceptionn_profile
     from repro.distributed import train_distributed
     from repro.dnn import LRSchedule, SGD, build_hdc, hdc_dataset
     from repro.transport import ClusterConfig
 
     stream = _stream_for(args)
+    if stream is None and args.compress:
+        stream = inceptionn_profile()
     num_nodes = args.workers + 1 if args.algorithm == "wa" else args.workers
     result = train_distributed(
         algorithm=args.algorithm,
@@ -114,16 +118,11 @@ def _cmd_train(args: argparse.Namespace) -> int:
         num_workers=args.workers,
         iterations=args.iterations,
         batch_size=args.batch_size,
-        cluster=ClusterConfig(
-            num_nodes=num_nodes,
-            compression=args.compress,
-            profile=stream,
-        ),
-        compress_gradients=args.compress,
+        cluster=ClusterConfig(num_nodes=num_nodes, profile=stream),
         stream=stream,
         seed=args.seed,
     )
-    tag = f"+{args.codec}" if stream else ("+C" if args.compress else "")
+    tag = f"+{args.codec}" if args.codec else ("+C" if args.compress else "")
     print(
         f"{args.algorithm}{tag} x{args.workers}: "
         f"loss {result.losses[0]:.3f} -> {result.losses[-1]:.3f}, "
@@ -180,6 +179,12 @@ def _cmd_codecs(args: argparse.Namespace) -> int:
         kind = "lossless" if codec.lossless else "lossy"
         print(f"{name:<16}{codec_tos(name):#04x}  {kind:<10}{ratio:<8.2f}{params}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -246,6 +251,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("codecs", help="list registered gradient codecs")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_codecs)
+
+    p = sub.add_parser("lint", help="repo-aware static analysis")
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(p)
+    p.set_defaults(func=_cmd_lint)
 
     return parser
 

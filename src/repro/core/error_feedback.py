@@ -12,7 +12,7 @@ design would keep it (in host memory, added before DMA).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -53,7 +53,7 @@ class ErrorFeedbackCompressor:
         self._residual = None
 
 
-def feedback_hook(bound: ErrorBound):
+def feedback_hook(bound: ErrorBound) -> Callable[[int, np.ndarray], np.ndarray]:
     """A ``gradient_hook`` for training loops: lossy codec + feedback."""
     compressor = ErrorFeedbackCompressor(bound)
 

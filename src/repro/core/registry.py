@@ -83,10 +83,10 @@ class GradientCodec(abc.ABC):
         return {}
 
     @abc.abstractmethod
-    def compress(self, values: np.ndarray, **params) -> CodecResult:
+    def compress(self, values: np.ndarray, **params: object) -> CodecResult:
         """Measure the wire size of ``values`` and reconstruct them."""
 
-    def error_bound(self, values: np.ndarray, **params) -> Optional[float]:
+    def error_bound(self, values: np.ndarray, **params: object) -> Optional[float]:
         """Declared max absolute reconstruction error on ``values``.
 
         ``None`` means bit-exact (lossless codecs).  Lossy codecs return
@@ -97,7 +97,7 @@ class GradientCodec(abc.ABC):
             return None
         raise NotImplementedError(f"{self.name} must declare an error bound")
 
-    def measured_ratio(self, values: np.ndarray, **params) -> float:
+    def measured_ratio(self, values: np.ndarray, **params: object) -> float:
         """Compression ratio achieved on ``values``."""
         arr = _flat32(values)
         if arr.size == 0:
@@ -123,14 +123,14 @@ class InceptionnCodec(GradientCodec):
             return bound
         return ErrorBound(int(bound))
 
-    def compress(self, values: np.ndarray, **params) -> CodecResult:
+    def compress(self, values: np.ndarray, **params: object) -> CodecResult:
         arr = _flat32(values)
         cg = _inc_compress(arr, self._bound(params))
         return CodecResult(
             payload_nbytes=cg.compressed_nbytes, values=_inc_decompress(cg)
         )
 
-    def error_bound(self, values: np.ndarray, **params) -> Optional[float]:
+    def error_bound(self, values: np.ndarray, **params: object) -> Optional[float]:
         return self._bound(params).bound
 
 
@@ -143,7 +143,7 @@ class IdentityCodec(GradientCodec):
     name = "identity"
     lossless = True
 
-    def compress(self, values: np.ndarray, **params) -> CodecResult:
+    def compress(self, values: np.ndarray, **params: object) -> CodecResult:
         arr = _flat32(values)
         return CodecResult(payload_nbytes=arr.nbytes, values=arr.copy())
 
@@ -156,7 +156,7 @@ class TruncationCodec(GradientCodec):
     def default_params(self) -> Dict[str, object]:
         return {"bits": 16}
 
-    def compress(self, values: np.ndarray, **params) -> CodecResult:
+    def compress(self, values: np.ndarray, **params: object) -> CodecResult:
         from repro.baselines.truncation import truncate_lsbs
 
         bits = int(params.get("bits", 16))
@@ -167,7 +167,7 @@ class TruncationCodec(GradientCodec):
             values=truncate_lsbs(arr, bits),
         )
 
-    def error_bound(self, values: np.ndarray, **params) -> Optional[float]:
+    def error_bound(self, values: np.ndarray, **params: object) -> Optional[float]:
         # Zeroing the low ``bits`` bits of a float with magnitude |v|
         # perturbs it by less than 2^bits ulps = |v| * 2^(bits - 23).
         bits = int(params.get("bits", 16))
@@ -184,7 +184,7 @@ class QuantizationCodec(GradientCodec):
     def default_params(self) -> Dict[str, object]:
         return {"bits": 4, "seed": 0}
 
-    def compress(self, values: np.ndarray, **params) -> CodecResult:
+    def compress(self, values: np.ndarray, **params: object) -> CodecResult:
         from repro.baselines.quantization import qsgd
 
         bits = int(params.get("bits", 4))
@@ -194,7 +194,7 @@ class QuantizationCodec(GradientCodec):
             payload_nbytes=-(-result.payload_bits // 8), values=result.values
         )
 
-    def error_bound(self, values: np.ndarray, **params) -> Optional[float]:
+    def error_bound(self, values: np.ndarray, **params: object) -> Optional[float]:
         # Stochastic rounding lands on one of two adjacent levels, so the
         # per-element error is below one level step = ||g|| / levels.
         bits = int(params.get("bits", 4))
@@ -217,7 +217,7 @@ class SparsificationCodec(GradientCodec):
     def default_params(self) -> Dict[str, object]:
         return {"sparsity": 0.9}
 
-    def compress(self, values: np.ndarray, **params) -> CodecResult:
+    def compress(self, values: np.ndarray, **params: object) -> CodecResult:
         from repro.baselines.sparsification import DeepGradientCompression
 
         sparsity = float(params.get("sparsity", 0.9))
@@ -228,7 +228,7 @@ class SparsificationCodec(GradientCodec):
             payload_nbytes=-(-result.payload_bits // 8), values=result.values
         )
 
-    def error_bound(self, values: np.ndarray, **params) -> Optional[float]:
+    def error_bound(self, values: np.ndarray, **params: object) -> Optional[float]:
         # Every transmitted coordinate is exact; a dropped one errs by
         # its own magnitude, which the top-k threshold keeps at or below
         # the largest surviving magnitude — bounded by max |g|.
@@ -244,7 +244,7 @@ class SzCodec(GradientCodec):
     def default_params(self) -> Dict[str, object]:
         return {"bound": 2.0**-10}
 
-    def compress(self, values: np.ndarray, **params) -> CodecResult:
+    def compress(self, values: np.ndarray, **params: object) -> CodecResult:
         from repro.baselines import sz_like
 
         bound = float(params.get("bound", 2.0**-10))
@@ -254,7 +254,7 @@ class SzCodec(GradientCodec):
             payload_nbytes=len(blob), values=sz_like.decompress(blob, bound)
         )
 
-    def error_bound(self, values: np.ndarray, **params) -> Optional[float]:
+    def error_bound(self, values: np.ndarray, **params: object) -> Optional[float]:
         return float(params.get("bound", 2.0**-10))
 
 
@@ -264,7 +264,7 @@ class SnappyCodec(GradientCodec):
     name = "snappy_like"
     lossless = True
 
-    def compress(self, values: np.ndarray, **params) -> CodecResult:
+    def compress(self, values: np.ndarray, **params: object) -> CodecResult:
         from repro.baselines import snappy_like
 
         arr = _flat32(values)
@@ -380,7 +380,7 @@ class StreamProfile:
 RAW_STREAM = StreamProfile()
 
 
-def profile_for(name: str, **params) -> StreamProfile:
+def profile_for(name: str, **params: object) -> StreamProfile:
     """Build a profile for a registered codec (validates the name)."""
     return StreamProfile(codec=name, tos=codec_tos(name), params=params)
 

@@ -90,6 +90,8 @@ def train_async_ps(
         raise ValueError("cluster config must have num_workers + 1 nodes")
     comm = ClusterComm(config)
     comm.endpoints[server_id].promiscuous = True
+    if stream is None and compress_gradients:
+        stream = comm.default_profile
 
     server_net = build_net(seed)
     server_opt = make_optimizer()
@@ -147,12 +149,7 @@ def train_async_ps(
                 yield comm.sim.timeout(compute)
             loss, grad = trainer.local_gradient()
             result.losses.append(loss)
-            ep.isend(
-                server_id,
-                grad,
-                profile=stream,
-                compressible=compress_gradients,
-            )
+            ep.isend(server_id, grad, profile=stream)
             weights = yield ep.recv(server_id)
             trainer.net.set_parameter_vector(weights)
             worker_progress[i] = iteration + 1

@@ -84,10 +84,10 @@ def train_distributed(
     ``algorithm`` is ``"wa"`` (worker-aggregator; one extra node hosts
     the aggregator) or ``"ring"`` (INCEPTIONN, Algorithm 1).  ``stream``
     selects the codec profile of the gradient traffic (any registered
-    codec — INCEPTIONN, truncation, quantization, ...); the deprecated
-    ``compress_gradients`` flag tags it with the cluster's default
+    codec — INCEPTIONN, truncation, quantization, ...); the convenience
+    ``compress_gradients`` flag resolves to the cluster's default
     profile (ToS 0x28) instead.  Either only takes effect when the NIC
-    engines are enabled (``cluster.compression`` or a cluster profile).
+    engines are enabled (a cluster profile).
     In the WA baseline only the gradient (up) leg can compress — weights
     are loss-intolerant (paper Fig 4) — while the ring compresses every
     hop.
@@ -103,6 +103,8 @@ def train_distributed(
             f"cluster config has {config.num_nodes} nodes, run needs {num_nodes}"
         )
     comm = ClusterComm(config)
+    if stream is None and compress_gradients:
+        stream = comm.default_profile
 
     # Identical replicas: every worker builds from the same seed.
     trainers = [
@@ -131,7 +133,6 @@ def train_distributed(
             trainers,
             iterations,
             profile,
-            compress_gradients,
             stream,
             losses,
             phase,
@@ -148,7 +149,6 @@ def train_distributed(
             seed,
             iterations,
             profile,
-            compress_gradients,
             stream,
             losses,
             phase,
@@ -188,7 +188,6 @@ def _spawn_ring_processes(
     trainers: List[LocalTrainer],
     iterations: int,
     profile: ComputeProfile,
-    compress: bool,
     stream: Optional[StreamProfile],
     losses: List[List[float]],
     phase: Dict[str, float],
@@ -212,7 +211,6 @@ def _spawn_ring_processes(
                 ep,
                 grad,
                 num_workers,
-                compressible=compress,
                 profile=profile,
                 stream=stream,
             )
@@ -241,7 +239,6 @@ def _spawn_wa_processes(
     seed: int,
     iterations: int,
     profile: ComputeProfile,
-    compress: bool,
     stream: Optional[StreamProfile],
     losses: List[List[float]],
     phase: Dict[str, float],
@@ -265,11 +262,7 @@ def _spawn_wa_processes(
             loss, grad = trainer.local_gradient()
             losses[iteration].append(loss)
             weights = yield from worker_exchange(
-                ep,
-                aggregator_id,
-                grad,
-                compress_gradients=compress,
-                stream=stream,
+                ep, aggregator_id, grad, stream=stream
             )
             trainer.net.set_parameter_vector(weights)
             # Keep local optimizer iteration counters aligned with the

@@ -11,15 +11,24 @@ broadcast the global aggregate back into their groups.  Every leg is a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Generator, List, Sequence
 
 import numpy as np
 
 from repro.core import StreamProfile
+from repro.network import Event
 from repro.transport.endpoint import ClusterComm
 
 from .node import ComputeProfile
 from .ring import ring_exchange
+
+if TYPE_CHECKING:
+    from repro.dnn.data import Dataset
+    from repro.dnn.network import Sequential
+    from repro.dnn.optim import SGD
+    from repro.transport.endpoint import ClusterConfig
+
+    from .cluster import DistributedRunResult
 
 
 @dataclass(frozen=True)
@@ -72,16 +81,12 @@ class _ScopedEndpoint:
         dst: int,
         array: np.ndarray,
         profile: "StreamProfile | None" = None,
-        compressible=None,
-    ):
+    ) -> Event:
         return self._inner.isend(
-            self._members[dst],
-            array,
-            profile=profile,
-            compressible=compressible,
+            self._members[dst], array, profile=profile
         )
 
-    def recv(self, src: int):
+    def recv(self, src: int) -> Event:
         return self._inner.recv(self._members[src])
 
 
@@ -90,10 +95,9 @@ def hierarchical_exchange(
     node: int,
     vector: np.ndarray,
     layout: GroupLayout,
-    compressible=None,
     profile: "ComputeProfile | None" = None,
     stream: "StreamProfile | None" = None,
-):
+) -> Generator[Event, Any, np.ndarray]:
     """Two-level gradient exchange for one node; returns the global sum.
 
     Level 1: ring inside the leaf group.  Level 2: leaders ring over the
@@ -109,7 +113,6 @@ def hierarchical_exchange(
         group_ep,
         vector,
         len(group),
-        compressible=compressible,
         profile=profile,
         stream=stream,
     )
@@ -125,14 +128,11 @@ def hierarchical_exchange(
             leader_ep,
             group_sum,
             len(leaders),
-            compressible=compressible,
             profile=profile,
             stream=stream,
         )
         events = [
-            ep.isend(
-                member, global_sum, profile=stream, compressible=compressible
-            )
+            ep.isend(member, global_sum, profile=stream)
             for member in group[1:]
         ]
         if events:
@@ -144,9 +144,9 @@ def hierarchical_exchange(
 
 
 def train_hierarchical(
-    build_net,
-    make_optimizer,
-    dataset,
+    build_net: "Callable[[int], Sequential]",
+    make_optimizer: "Callable[[], SGD]",
+    dataset: "Dataset",
     layout: GroupLayout,
     iterations: int,
     batch_size: int,
@@ -155,12 +155,13 @@ def train_hierarchical(
     compress_gradients: bool = False,
     stream: "StreamProfile | None" = None,
     seed: int = 0,
-):
+) -> "DistributedRunResult":
     """End-to-end training with the two-level exchange (Fig 1c).
 
     Mirrors :func:`repro.distributed.cluster.train_distributed` for the
     hierarchical organization; returns the same result type with
-    ``algorithm == "hier"``.
+    ``algorithm == "hier"``.  ``compress_gradients`` resolves to the
+    cluster's default profile when no explicit ``stream`` is given.
     """
     from repro.dnn.training import LocalTrainer
     from repro.transport.endpoint import ClusterComm, ClusterConfig
@@ -174,6 +175,8 @@ def train_hierarchical(
     if config.num_nodes != num_nodes:
         raise ValueError("cluster config node count must match the layout")
     comm = ClusterComm(config)
+    if stream is None and compress_gradients:
+        stream = comm.default_profile
 
     trainers = [
         LocalTrainer(
@@ -200,9 +203,7 @@ def train_hierarchical(
             loss, grad = trainer.local_gradient()
             losses[iteration].append(loss)
             aggregate = yield from hierarchical_exchange(
-                comm, i, grad, layout,
-                compressible=compress_gradients, profile=profile,
-                stream=stream,
+                comm, i, grad, layout, profile=profile, stream=stream
             )
             if profile.update_s:
                 yield comm.sim.timeout(profile.update_s)

@@ -52,8 +52,11 @@ def partition_blocks(vector: np.ndarray, num_blocks: int) -> List[np.ndarray]:
     """
     if num_blocks < 1:
         raise ValueError("need at least one block")
-    flat = np.ascontiguousarray(vector).reshape(-1)
-    return [np.array(b, copy=True) for b in np.array_split(flat, num_blocks)]
+    flat = np.ascontiguousarray(vector, dtype=np.float32).reshape(-1)
+    return [
+        np.array(b, dtype=np.float32, copy=True)
+        for b in np.array_split(flat, num_blocks)
+    ]
 
 
 def concatenate_blocks(blocks: List[np.ndarray]) -> np.ndarray:

@@ -15,11 +15,12 @@ internally inconsistent by one step in the P2 loop.)
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, Generator, List, Optional
 
 import numpy as np
 
 from repro.core import StreamProfile
+from repro.network import Event
 from repro.transport.endpoint import Endpoint
 
 from .node import ComputeProfile, concatenate_blocks, partition_blocks
@@ -29,17 +30,15 @@ def ring_exchange(
     ep: Endpoint,
     vector: np.ndarray,
     num_workers: int,
-    compressible=None,
     profile: Optional[ComputeProfile] = None,
     stream: Optional[StreamProfile] = None,
-):
+) -> Generator[Event, Any, np.ndarray]:
     """Run Algorithm 1's gradient exchange for one node; returns the
     fully aggregated gradient vector.
 
     A generator to be driven as a simulation process — all ``num_workers``
     nodes must run it concurrently with consistent arguments.  ``stream``
-    selects the codec/ToS profile of every hop; the deprecated
-    ``compressible`` flag maps to the cluster's default profile.
+    selects the codec/ToS profile of every hop (``None`` for raw).
     """
     n = num_workers
     i = ep.node_id
@@ -55,12 +54,7 @@ def ring_exchange(
     for step in range(1, 2 * n - 1):
         send_idx = (i - step + 1) % n
         recv_idx = (i - step) % n
-        ep.isend(
-            successor,
-            blocks[send_idx],
-            profile=stream,
-            compressible=compressible,
-        )
+        ep.isend(successor, blocks[send_idx], profile=stream)
         received = yield ep.recv(predecessor)
         if step < n:
             # P1: sum-reduce into the local block.

@@ -9,11 +9,12 @@ algorithm removes.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, Callable, Generator, List, Optional
 
 import numpy as np
 
 from repro.core import StreamProfile
+from repro.network import Event
 from repro.transport.endpoint import Endpoint
 
 from .node import ComputeProfile
@@ -23,18 +24,15 @@ def worker_exchange(
     ep: Endpoint,
     aggregator: int,
     gradient: np.ndarray,
-    compress_gradients: bool = False,
     stream: Optional[StreamProfile] = None,
-):
+) -> Generator[Event, Any, np.ndarray]:
     """One worker's iteration legs: send g up, receive w down.
 
     ``stream`` selects the codec profile of the gradient leg (the
     weight leg down is always raw).  Returns the updated weight vector
     from the aggregator.
     """
-    ep.isend(
-        aggregator, gradient, profile=stream, compressible=compress_gradients
-    )
+    ep.isend(aggregator, gradient, profile=stream)
     weights = yield ep.recv(aggregator)
     return weights
 
@@ -42,9 +40,9 @@ def worker_exchange(
 def aggregator_exchange(
     ep: Endpoint,
     workers: List[int],
-    apply_update,
+    apply_update: Callable[[np.ndarray], np.ndarray],
     profile: Optional[ComputeProfile] = None,
-):
+) -> Generator[Event, Any, np.ndarray]:
     """One aggregator iteration: gather, sum, update, broadcast.
 
     ``apply_update(total_gradient) -> weight_vector`` is the update rule

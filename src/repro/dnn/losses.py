@@ -25,7 +25,7 @@ class SoftmaxCrossEntropy:
         probs = exp / exp.sum(axis=1, keepdims=True)
         self._probs = probs
         self._labels = labels
-        batch = np.arange(logits.shape[0])
+        batch = np.arange(logits.shape[0], dtype=np.intp)
         return float(-np.log(probs[batch, labels] + 1e-12).mean())
 
     def backward(self) -> np.ndarray:
@@ -33,6 +33,6 @@ class SoftmaxCrossEntropy:
         if self._probs is None or self._labels is None:
             raise RuntimeError("backward called before forward")
         grad = self._probs.copy()
-        batch = np.arange(grad.shape[0])
+        batch = np.arange(grad.shape[0], dtype=np.intp)
         grad[batch, self._labels] -= 1.0
         return (grad / grad.shape[0]).astype(np.float32)

@@ -22,7 +22,7 @@ hardware integration of Sec. VI-A:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Generator, Iterable, List, Optional
 
 from .events import Event, Simulation
 from .link import Link
@@ -219,7 +219,7 @@ class Network:
         compress: bool,
         src: int,
         dst: int,
-    ):
+    ) -> Generator[Event, Any, None]:
         """Pipeline one packet train through engines and links.
 
         Stages hand off with virtual cut-through: the next stage starts
@@ -275,7 +275,7 @@ class Network:
 
 
 def uniform_nics(
-    num_nodes: int, compression: bool, **kwargs
+    num_nodes: int, compression: bool, **kwargs: object
 ) -> Dict[int, NicTimingModel]:
     """Convenience: the same NIC model on every node."""
     model = NicTimingModel(compression=compression, **kwargs)

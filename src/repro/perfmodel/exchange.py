@@ -14,7 +14,12 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core import ErrorBound, StreamProfile, compression_ratio
+from repro.core import (
+    ErrorBound,
+    StreamProfile,
+    compression_ratio,
+    inceptionn_profile,
+)
 from repro.core.bounds import DEFAULT_BOUND
 from repro.distributed.node import ComputeProfile, ZERO_COMPUTE
 from repro.distributed.ring import ring_exchange_sizes
@@ -89,7 +94,6 @@ class ExchangeResult:
 def _make_comm(
     num_nodes: int,
     bandwidth_bps: float,
-    compression: bool,
     bound: ErrorBound,
     train_packets: int,
     stream: Optional[StreamProfile] = None,
@@ -98,7 +102,6 @@ def _make_comm(
         ClusterConfig(
             num_nodes=num_nodes,
             bandwidth_bps=bandwidth_bps,
-            compression=compression,
             bound=bound,
             train_packets=train_packets,
             profile=stream,
@@ -121,8 +124,9 @@ def simulate_wa_exchange(
 ) -> ExchangeResult:
     """Worker-aggregator iterations: gather g up, sum, update, scatter w.
 
-    Only the gradient leg may compress (``stream`` or the deprecated
-    ``compress_gradients`` flag); the weight leg is always raw.  With a
+    Only the gradient leg may compress (``stream``, or the convenience
+    ``compress_gradients`` flag which resolves to the INCEPTIONN
+    profile at ``bound``); the weight leg is always raw.  With a
     ``stream`` and no ``gradient_ratio``, the codec's ratio is measured
     on a sampled gradient.  ``include_local_compute`` prepends each
     iteration's forward/backward/copy time (for full-iteration studies
@@ -131,16 +135,18 @@ def simulate_wa_exchange(
     if num_workers < 2:
         raise ValueError("need at least two workers")
     aggregator = num_workers
+    explicit_stream = stream
+    if stream is None and compress_gradients:
+        stream = inceptionn_profile(bound)
     comm = _make_comm(
         num_workers + 1,
         bandwidth_bps,
-        compress_gradients,
         bound,
         train_packets,
         stream,
     )
-    if stream is not None and gradient_ratio is None:
-        gradient_ratio = measure_profile_ratio(stream)
+    if explicit_stream is not None and gradient_ratio is None:
+        gradient_ratio = measure_profile_ratio(explicit_stream)
     sums = {"sum_s": 0.0, "update_s": 0.0}
 
     def worker(i: int):
@@ -152,7 +158,6 @@ def simulate_wa_exchange(
                 aggregator,
                 nbytes,
                 profile=stream,
-                compressible=compress_gradients,
                 compression_ratio=gradient_ratio,
             )
             yield ep.recv(aggregator)
@@ -210,16 +215,18 @@ def simulate_ring_exchange(
     """
     if num_workers < 2:
         raise ValueError("need at least two workers")
+    explicit_stream = stream
+    if stream is None and compress_gradients:
+        stream = inceptionn_profile(bound)
     comm = _make_comm(
         num_workers,
         bandwidth_bps,
-        compress_gradients,
         bound,
         train_packets,
         stream,
     )
-    if stream is not None and gradient_ratio is None:
-        gradient_ratio = measure_profile_ratio(stream)
+    if explicit_stream is not None and gradient_ratio is None:
+        gradient_ratio = measure_profile_ratio(explicit_stream)
     block_bytes = [s * 4 for s in ring_exchange_sizes(num_workers, nbytes // 4)]
     sums = {"sum_s": 0.0, "update_s": 0.0}
 
@@ -237,7 +244,6 @@ def simulate_ring_exchange(
                     successor,
                     block_bytes[send_idx],
                     profile=stream,
-                    compressible=compress_gradients,
                     compression_ratio=gradient_ratio,
                 )
                 yield ep.recv(predecessor)

@@ -8,7 +8,7 @@ script ``tools/regenerate_report.py`` serializes to JSON.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Sequence
 
 import numpy as np
 
@@ -51,7 +51,7 @@ def fig13_report() -> Dict:
     }
 
 
-def fig15_report(node_counts=(4, 6, 8)) -> Dict:
+def fig15_report(node_counts: Sequence[int] = (4, 6, 8)) -> Dict:
     """Gradient-exchange scaling, normalized to 4-node WA."""
     out: Dict = {}
     for model in TIMING_MODELS:

@@ -5,19 +5,22 @@ simulation process — the moral equivalent of calling an OpenMPI
 collective from the training loop.  The ``profile`` argument is the
 reproduction of the paper's ``MPI_collective_communication_comp`` APIs:
 it tags the underlying streams with the profile codec's ToS byte (0x28
-for the default INCEPTIONN stream).  ``compressible`` survives as the
-deprecated boolean alias for the cluster's default profile.
+for the default INCEPTIONN stream).  Raw traffic passes ``None``.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Any, Generator, Iterable, List, Optional
 
 import numpy as np
 
 from repro.core import StreamProfile
+from repro.network import Event
 
 from .endpoint import Endpoint
+
+#: Simulation-process generator: yields events, may return a vector.
+Collective = Generator[Event, Any, Optional[np.ndarray]]
 
 
 def send_to(
@@ -25,13 +28,13 @@ def send_to(
     dst: int,
     array: np.ndarray,
     profile: Optional[StreamProfile] = None,
-    compressible=None,
-):
+) -> Collective:
     """Blocking send (waits until delivered)."""
-    yield ep.isend(dst, array, profile=profile, compressible=compressible)
+    yield ep.isend(dst, array, profile=profile)
+    return None
 
 
-def recv_from(ep: Endpoint, src: int):
+def recv_from(ep: Endpoint, src: int) -> Collective:
     """Blocking receive; the generator's return value is the array."""
     array = yield ep.recv(src)
     return array
@@ -43,8 +46,7 @@ def reduce_to_root(
     vector: np.ndarray,
     sources: Optional[Iterable[int]] = None,
     profile: Optional[StreamProfile] = None,
-    compressible=None,
-):
+) -> Collective:
     """Sum-reduce vectors onto ``root`` (the aggregator's gather leg).
 
     Non-root nodes send their vector and return ``None``; the root
@@ -52,7 +54,7 @@ def reduce_to_root(
     (including its own contribution, when it has one).
     """
     if ep.node_id != root:
-        yield ep.isend(root, vector, profile=profile, compressible=compressible)
+        yield ep.isend(root, vector, profile=profile)
         return None
     total = np.array(vector, dtype=np.float32, copy=True)
     srcs = list(sources if sources is not None else [])
@@ -68,14 +70,13 @@ def broadcast_from_root(
     vector: Optional[np.ndarray],
     destinations: Optional[Iterable[int]] = None,
     profile: Optional[StreamProfile] = None,
-    compressible=None,
-):
+) -> Collective:
     """Root sends ``vector`` to every destination; others receive it."""
     if ep.node_id == root:
         if vector is None:
             raise ValueError("root must supply the vector to broadcast")
         events = [
-            ep.isend(dst, vector, profile=profile, compressible=compressible)
+            ep.isend(dst, vector, profile=profile)
             for dst in destinations or []
         ]
         if events:

@@ -16,6 +16,7 @@ that maps to the cluster's default profile.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -71,6 +72,15 @@ class ClusterConfig:
     mss: int = 1460
     train_packets: int = 44
     profile: Optional[StreamProfile] = None
+
+    def __post_init__(self) -> None:
+        if self.compression:
+            warnings.warn(
+                "ClusterConfig(compression=True) is deprecated; pass "
+                "profile=inceptionn_profile(bound) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
 
     def default_profile(self) -> StreamProfile:
         """The profile ``compressible``-style callers resolve to."""
@@ -164,7 +174,9 @@ class Endpoint:
             self._inbox(src).put(payload)
 
     def _resolve_profile(
-        self, profile: Optional[StreamProfile], compressible
+        self,
+        profile: Optional[StreamProfile],
+        compressible: Optional[bool],
     ) -> StreamProfile:
         """Map the caller's stream selection to a concrete profile.
 
@@ -172,6 +184,13 @@ class Endpoint:
         flag resolves to the cluster's default profile (the INCEPTIONN
         ToS-0x28 stream under the legacy ``compression`` shim).
         """
+        if compressible is not None:
+            warnings.warn(
+                "the compressible= keyword is deprecated; pass a "
+                "StreamProfile via profile= instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
         if profile is not None:
             return profile
         if compressible:
@@ -183,7 +202,7 @@ class Endpoint:
         dst: int,
         array: np.ndarray,
         profile: Optional[StreamProfile] = None,
-        compressible=None,
+        compressible: Optional[bool] = None,
     ) -> Event:
         """Non-blocking send; returns the delivery event.
 
@@ -238,7 +257,7 @@ class Endpoint:
         nbytes: int,
         profile: Optional[StreamProfile] = None,
         compression_ratio: Optional[float] = None,
-        compressible=None,
+        compressible: Optional[bool] = None,
     ) -> Event:
         """Timing-only send: bytes move, no array is materialized.
 

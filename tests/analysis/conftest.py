@@ -1,0 +1,39 @@
+"""Shared fixtures for the static-analysis tests.
+
+Fixture snippets are written into a ``repro/<pkg>/`` layout under a
+temp dir so the engine's module-name resolution (anchored at the last
+``repro`` path component) treats them as real repro modules.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import lint_paths
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Write ``{relpath: source}`` snippets and lint them with ``rules``."""
+
+    def run(files, rules=None):
+        root = tmp_path / "tree"
+        for relpath, source in files.items():
+            target = root / relpath
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(textwrap.dedent(source))
+        findings, files_checked = lint_paths([root], rules=rules)
+        assert files_checked == len(files)
+        return findings
+
+    return run
+
+
+@pytest.fixture
+def lint_snippet(lint_tree):
+    """Lint one snippet placed at ``repro/<relpath>`` with ``rules``."""
+
+    def run(relpath, source, rules=None):
+        return lint_tree({f"repro/{relpath}": source}, rules=rules)
+
+    return run

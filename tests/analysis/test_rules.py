@@ -1,0 +1,437 @@
+"""Per-rule fixtures: what each rule must flag and must not flag."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.rules.annotations import AnnotationsRule
+from repro.analysis.rules.bits import BitAccountingRule
+from repro.analysis.rules.deprecated import DeprecatedApiRule
+from repro.analysis.rules.dtype import DtypeDisciplineRule
+from repro.analysis.rules.registry_tos import RegistryTosRule
+
+
+def codes(findings):
+    return [f.rule for f in findings]
+
+
+class TestDtypeDiscipline:
+    def test_flags_constructor_without_dtype(self, lint_snippet):
+        findings = lint_snippet(
+            "core/x.py",
+            """
+            import numpy as np
+            g = np.zeros(10)
+            """,
+            rules=[DtypeDisciplineRule()],
+        )
+        assert codes(findings) == ["R1"]
+        assert "explicit dtype" in findings[0].message
+
+    def test_explicit_dtype_is_fine(self, lint_snippet):
+        findings = lint_snippet(
+            "core/x.py",
+            """
+            import numpy as np
+            g = np.zeros(10, dtype=np.float32)
+            idx = np.arange(5, dtype=np.intp)
+            """,
+            rules=[DtypeDisciplineRule()],
+        )
+        assert findings == []
+
+    def test_astype_wrap_counts_as_explicit(self, lint_snippet):
+        findings = lint_snippet(
+            "core/x.py",
+            """
+            import numpy as np
+            g = np.arange(10).astype(np.float32)
+            """,
+            rules=[DtypeDisciplineRule()],
+        )
+        assert findings == []
+
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            "np.zeros(4, dtype=np.float64)",
+            "np.asarray(x, dtype=float)",
+            'np.empty(4, dtype="float64")',
+            "x.astype(np.float64)",
+            "np.float64(1.5)",
+        ],
+    )
+    def test_flags_float64_spellings(self, lint_snippet, expr):
+        findings = lint_snippet(
+            "dnn/x.py",
+            f"""
+            import numpy as np
+            x = np.ones(4, dtype=np.float32)
+            y = {expr}
+            """,
+            rules=[DtypeDisciplineRule()],
+        )
+        assert codes(findings) == ["R1"]
+
+    def test_outside_gradient_path_not_checked(self, lint_snippet):
+        findings = lint_snippet(
+            "analysis/x.py",
+            """
+            import numpy as np
+            g = np.zeros(10)
+            """,
+            rules=[DtypeDisciplineRule()],
+        )
+        assert findings == []
+
+
+class TestDeprecatedApi:
+    def test_flags_compressible_kwarg(self, lint_snippet):
+        findings = lint_snippet(
+            "distributed/x.py",
+            """
+            def go(ep):
+                ep.isend(1, data, compressible=True)
+            """,
+            rules=[DeprecatedApiRule()],
+        )
+        assert codes(findings) == ["R2"]
+        assert "compressible" in findings[0].message
+
+    def test_flags_cluster_config_compression(self, lint_snippet):
+        findings = lint_snippet(
+            "perfmodel/x.py",
+            """
+            config = ClusterConfig(num_nodes=4, compression=True)
+            """,
+            rules=[DeprecatedApiRule()],
+        )
+        assert codes(findings) == ["R2"]
+
+    def test_other_compression_kwargs_allowed(self, lint_snippet):
+        # NicTimingModel(compression=...) is a live hardware flag, not
+        # the deprecated shim.
+        findings = lint_snippet(
+            "network/x.py",
+            """
+            nic = NicTimingModel(compression=True)
+            nics = uniform_nics(4, compression=False)
+            """,
+            rules=[DeprecatedApiRule()],
+        )
+        assert findings == []
+
+    def test_shim_module_is_exempt(self, lint_snippet):
+        findings = lint_snippet(
+            "transport/endpoint.py",
+            """
+            def isend(self, dst, array, compressible=None):
+                return self._send(dst, array, compressible=compressible)
+            """,
+            rules=[DeprecatedApiRule()],
+        )
+        assert findings == []
+
+    def test_profile_api_not_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            "distributed/x.py",
+            """
+            def go(ep, stream):
+                ep.isend(1, data, profile=stream)
+            """,
+            rules=[DeprecatedApiRule()],
+        )
+        assert findings == []
+
+
+REGISTRY_PRELUDE = (
+    'class GoodCodec:\n'
+    '    name = "inceptionn"\n'
+    '\n'
+    'class OtherCodec:\n'
+    '    name = "other"\n'
+    '\n'
+)
+
+
+class TestRegistryTos:
+    def test_consistent_registry_is_clean(self, lint_snippet):
+        findings = lint_snippet(
+            "core/registry.py",
+            REGISTRY_PRELUDE
+            + textwrap.dedent("""
+            register_codec(GoodCodec(), tos=0x28)
+            register_codec(OtherCodec(), tos=0x2C)
+            profile = StreamProfile(codec="other")
+            """),
+            rules=[RegistryTosRule()],
+        )
+        assert findings == []
+
+    def test_flags_duplicate_tos(self, lint_snippet):
+        findings = lint_snippet(
+            "core/registry.py",
+            REGISTRY_PRELUDE
+            + textwrap.dedent("""
+            register_codec(GoodCodec(), tos=0x28)
+            register_codec(OtherCodec(), tos=0x28)
+            """),
+            rules=[RegistryTosRule()],
+        )
+        # The duplicate claim and the 0x28-reservation breach both fire.
+        assert "already claimed" in " ".join(f.message for f in findings)
+
+    def test_flags_unregistered_profile_name(self, lint_snippet):
+        findings = lint_snippet(
+            "core/registry.py",
+            REGISTRY_PRELUDE
+            + textwrap.dedent("""
+            register_codec(GoodCodec(), tos=0x28)
+            profile = StreamProfile(codec="missing")
+            other = profile_for("missing_too")
+            """),
+            rules=[RegistryTosRule()],
+        )
+        assert len(findings) == 2
+        assert all("not registered" in f.message for f in findings)
+
+    def test_no_registrations_means_no_name_checks(self, lint_snippet):
+        # Linting a subtree with no register_codec calls must not
+        # false-positive on every StreamProfile literal.
+        findings = lint_snippet(
+            "perfmodel/x.py",
+            """
+            profile = StreamProfile(codec="anything")
+            """,
+            rules=[RegistryTosRule()],
+        )
+        assert findings == []
+
+    def test_flags_unresolvable_tos(self, lint_snippet):
+        findings = lint_snippet(
+            "core/registry.py",
+            REGISTRY_PRELUDE
+            + textwrap.dedent("""
+            register_codec(GoodCodec(), tos=0x28)
+            register_codec(OtherCodec(), tos=compute_tos())
+            """),
+            rules=[RegistryTosRule()],
+        )
+        assert codes(findings) == ["R3"]
+        assert "not statically resolvable" in findings[0].message
+
+    def test_flags_non_inceptionn_claiming_0x28(self, lint_snippet):
+        findings = lint_snippet(
+            "core/registry.py",
+            """
+            class OtherCodec:
+                name = "other"
+
+            register_codec(OtherCodec(), tos=0x28)
+            """,
+            rules=[RegistryTosRule()],
+        )
+        assert codes(findings) == ["R3"]
+        assert "may not claim" in findings[0].message
+
+    def test_flags_inceptionn_off_its_reserved_tos(self, lint_snippet):
+        findings = lint_snippet(
+            "core/registry.py",
+            """
+            class GoodCodec:
+                name = "inceptionn"
+
+            register_codec(GoodCodec(), tos=0x30)
+            """,
+            rules=[RegistryTosRule()],
+        )
+        assert codes(findings) == ["R3"]
+        assert "must keep" in findings[0].message
+
+    def test_resolves_tos_from_module_constant(self, lint_tree):
+        findings = lint_tree(
+            {
+                "repro/network/packet.py": """
+                    TOS_DEFAULT = 0x00
+                    TOS_COMPRESS = 0x28
+                """,
+                "repro/core/registry.py": """
+                    class GoodCodec:
+                        name = "inceptionn"
+
+                    register_codec(GoodCodec(), tos=TOS_COMPRESS)
+                """,
+            },
+            rules=[RegistryTosRule()],
+        )
+        assert findings == []
+
+    def test_flags_default_tos_claim(self, lint_snippet):
+        findings = lint_snippet(
+            "core/registry.py",
+            """
+            class OtherCodec:
+                name = "other"
+
+            register_codec(OtherCodec(), tos=0x00)
+            """,
+            rules=[RegistryTosRule()],
+        )
+        assert codes(findings) == ["R3"]
+        assert "raw traffic" in findings[0].message
+
+
+class TestBitAccounting:
+    def test_flags_list_in_bits_function(self, lint_snippet):
+        findings = lint_snippet(
+            "core/x.py",
+            """
+            def payload_nbits(tags):
+                sizes = [SIZE[t] for t in tags]
+                return sum(sizes)
+            """,
+            rules=[BitAccountingRule()],
+        )
+        assert codes(findings) == ["R4"]
+        assert "ListComp" in findings[0].message
+
+    def test_flags_dict_call(self, lint_snippet):
+        findings = lint_snippet(
+            "core/x.py",
+            """
+            def header_bits(tags):
+                counts = dict()
+                return counts
+            """,
+            rules=[BitAccountingRule()],
+        )
+        assert codes(findings) == ["R4"]
+
+    def test_vectorized_counting_is_fine(self, lint_snippet):
+        findings = lint_snippet(
+            "core/x.py",
+            """
+            import numpy as np
+
+            def payload_nbits(tags):
+                return int(np.bincount(tags, minlength=4) @ SIZES)
+            """,
+            rules=[BitAccountingRule()],
+        )
+        assert findings == []
+
+    def test_generator_expressions_allowed(self, lint_snippet):
+        findings = lint_snippet(
+            "core/x.py",
+            """
+            def total_bits(chunks):
+                return sum(c.nbits for c in chunks)
+            """,
+            rules=[BitAccountingRule()],
+        )
+        assert findings == []
+
+    def test_other_functions_unrestricted(self, lint_snippet):
+        findings = lint_snippet(
+            "core/x.py",
+            """
+            def summarize(tags):
+                return [t for t in tags]
+            """,
+            rules=[BitAccountingRule()],
+        )
+        assert findings == []
+
+
+class TestAnnotations:
+    def test_flags_missing_return_annotation(self, lint_snippet):
+        findings = lint_snippet(
+            "dnn/x.py",
+            """
+            def scale(x: float):
+                return 2 * x
+            """,
+            rules=[AnnotationsRule()],
+        )
+        assert codes(findings) == ["R5"]
+        assert "return" in findings[0].message
+
+    def test_flags_missing_param_annotation(self, lint_snippet):
+        findings = lint_snippet(
+            "dnn/x.py",
+            """
+            def scale(x) -> float:
+                return 2.0 * x
+            """,
+            rules=[AnnotationsRule()],
+        )
+        assert codes(findings) == ["R5"]
+        assert "'scale'" in findings[0].message
+
+    def test_self_exempt_but_not_staticmethod(self, lint_snippet):
+        findings = lint_snippet(
+            "dnn/x.py",
+            """
+            class Model:
+                def forward(self, x: int) -> int:
+                    return x
+
+                @staticmethod
+                def helper(self) -> int:
+                    return 0
+            """,
+            rules=[AnnotationsRule()],
+        )
+        assert len(findings) == 1
+        assert "'helper'" in findings[0].message
+
+    def test_private_and_nested_skipped_by_default(self, lint_snippet):
+        findings = lint_snippet(
+            "dnn/x.py",
+            """
+            def _helper(x):
+                return x
+
+            def outer() -> int:
+                def inner(y):
+                    return y
+                return inner(1)
+            """,
+            rules=[AnnotationsRule()],
+        )
+        assert findings == []
+
+    def test_strict_mode_covers_private_functions(self, lint_snippet):
+        findings = lint_snippet(
+            "core/x.py",
+            """
+            def _helper(x):
+                return x
+            """,
+            rules=[AnnotationsRule(strict=True)],
+        )
+        assert codes(findings) == ["R5"]
+
+    def test_package_scoping(self, lint_snippet):
+        findings = lint_snippet(
+            "dnn/x.py",
+            """
+            def scale(x):
+                return x
+            """,
+            rules=[AnnotationsRule(packages=("core", "network"))],
+        )
+        assert findings == []
+
+    def test_vararg_annotations_required(self, lint_snippet):
+        findings = lint_snippet(
+            "core/x.py",
+            """
+            def combine(*parts, **options) -> str:
+                return ""
+            """,
+            rules=[AnnotationsRule()],
+        )
+        assert codes(findings) == ["R5"]
+        assert "*parts" in findings[0].message
+        assert "**options" in findings[0].message

@@ -1,0 +1,60 @@
+"""The repo must pass its own lint — the gate CI enforces.
+
+If one of these fails, either fix the flagged code or (for deliberate
+exceptions, e.g. double-precision measurement code) add a
+``# repro-lint: disable=<rule>`` comment with a rationale.
+"""
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+from repro.analysis.rules.annotations import AnnotationsRule
+
+SRC_REPRO = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: Packages under mypy's disallow_untyped_defs (the wire contract).
+STRICT_PACKAGES = ("core", "network", "hardware", "transport")
+
+
+def test_source_tree_is_lint_clean():
+    findings, files_checked = lint_paths([SRC_REPRO])
+    rendered = "\n".join(f.render() for f in findings)
+    assert not findings, f"src/repro must lint clean:\n{rendered}"
+    assert files_checked > 50  # sanity: the whole tree was scanned
+
+
+def test_strict_packages_fully_annotated():
+    """Local, dependency-free mirror of mypy's disallow_untyped_defs."""
+    paths = [SRC_REPRO / pkg for pkg in STRICT_PACKAGES]
+    findings, files_checked = lint_paths(
+        paths, rules=[AnnotationsRule(strict=True)]
+    )
+    rendered = "\n".join(f.render() for f in findings)
+    assert not findings, (
+        f"strict packages must annotate every def:\n{rendered}"
+    )
+    assert files_checked > 20
+
+
+def test_registry_facts_found_in_real_tree():
+    """The project-facts pass sees the real registry's codecs."""
+    from repro.analysis.engine import FileContext, discover_files
+    from repro.analysis.project import collect_project_facts
+    from repro.core import available_codecs
+
+    files = discover_files([SRC_REPRO])
+    contexts = []
+    for path in files:
+        ctx = FileContext(path, str(path), path.read_text(encoding="utf-8"))
+        contexts.append(ctx)
+    facts = collect_project_facts(
+        [(c.module, c.display_path, c.tree) for c in contexts if c.tree]
+    )
+    assert facts.tos_compress == 0x28
+    # Every runtime-registered codec is statically visible, and the
+    # static pass resolved a unique ToS byte for each.
+    static_names = facts.registered_names
+    assert set(available_codecs()) <= static_names
+    tos_values = [r.tos for r in facts.registrations]
+    assert None not in tos_values
+    assert len(set(tos_values)) == len(tos_values)

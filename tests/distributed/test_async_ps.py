@@ -1,8 +1,8 @@
 """Asynchronous parameter-server tests."""
 
-import numpy as np
 import pytest
 
+from repro.core import inceptionn_profile
 from repro.distributed import ComputeProfile, train_async_ps, train_distributed
 from repro.dnn import LRSchedule, SGD, build_hdc, hdc_dataset
 from repro.transport import ClusterConfig
@@ -11,6 +11,7 @@ from repro.transport import ClusterConfig
 def _run_async(iterations=15, num_workers=4, max_staleness=None,
                compute_jitter=0.3, profile=None, compression=False,
                lr=0.02):
+    stream = inceptionn_profile() if compression else None
     return train_async_ps(
         build_net=lambda s: build_hdc(seed=s),
         make_optimizer=lambda: SGD(LRSchedule(lr), momentum=0.9),
@@ -19,10 +20,10 @@ def _run_async(iterations=15, num_workers=4, max_staleness=None,
         iterations_per_worker=iterations,
         batch_size=16,
         cluster=ClusterConfig(
-            num_nodes=num_workers + 1, compression=compression
+            num_nodes=num_workers + 1, profile=stream
         ),
         profile=profile or ComputeProfile(forward_s=1e-4, backward_s=3e-4),
-        compress_gradients=compression,
+        stream=stream,
         max_staleness=max_staleness,
         compute_jitter=compute_jitter,
     )

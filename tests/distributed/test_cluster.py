@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core import inceptionn_profile
 from repro.distributed import ComputeProfile, train_distributed
 from repro.dnn import LRSchedule, SGD, build_hdc, hdc_dataset
 from repro.transport import ClusterConfig
@@ -11,6 +12,7 @@ from repro.transport import ClusterConfig
 def _run(algorithm, iterations=12, compression=False, compress_gradients=False,
          num_workers=4, profile=None, seed=0, bandwidth=10e9):
     num_nodes = num_workers + 1 if algorithm == "wa" else num_workers
+    stream = inceptionn_profile() if compression else None
     return train_distributed(
         algorithm=algorithm,
         build_net=lambda s: build_hdc(seed=s),
@@ -20,7 +22,7 @@ def _run(algorithm, iterations=12, compression=False, compress_gradients=False,
         iterations=iterations,
         batch_size=16,
         cluster=ClusterConfig(
-            num_nodes=num_nodes, compression=compression, bandwidth_bps=bandwidth
+            num_nodes=num_nodes, bandwidth_bps=bandwidth, profile=stream
         ),
         profile=profile or ComputeProfile(),
         compress_gradients=compress_gradients,

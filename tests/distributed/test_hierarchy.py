@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import ErrorBound
+from repro.core import ErrorBound, inceptionn_profile
 from repro.distributed import GroupLayout, hierarchical_exchange
 from repro.transport import ClusterComm, ClusterConfig
 
@@ -11,15 +11,16 @@ from repro.transport import ClusterComm, ClusterConfig
 def _run_hier(vectors, group_size, compression=False, bound=ErrorBound(10)):
     n = len(vectors)
     layout = GroupLayout.even(n, group_size)
+    stream = inceptionn_profile(bound) if compression else None
     comm = ClusterComm(
-        ClusterConfig(num_nodes=n, compression=compression, bound=bound)
+        ClusterConfig(num_nodes=n, bound=bound, profile=stream)
     )
     results = {}
 
     def node(i):
         def proc():
             out = yield from hierarchical_exchange(
-                comm, i, vectors[i], layout, compressible=compression
+                comm, i, vectors[i], layout, stream=stream
             )
             results[i] = out
 

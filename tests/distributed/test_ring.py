@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import ErrorBound
+from repro.core import ErrorBound, inceptionn_profile
 from repro.distributed import (
     ComputeProfile,
     partition_blocks,
@@ -16,8 +16,9 @@ from repro.transport import ClusterComm, ClusterConfig
 def _run_ring(vectors, compression=False, bound=ErrorBound(10), profile=None):
     """Run the full ring on the given per-node vectors; return results."""
     n = len(vectors)
+    stream = inceptionn_profile(bound) if compression else None
     comm = ClusterComm(
-        ClusterConfig(num_nodes=n, compression=compression, bound=bound)
+        ClusterConfig(num_nodes=n, bound=bound, profile=stream)
     )
     results = {}
 
@@ -27,8 +28,8 @@ def _run_ring(vectors, compression=False, bound=ErrorBound(10), profile=None):
                 comm.endpoints[i],
                 vectors[i],
                 n,
-                compressible=compression,
                 profile=profile,
+                stream=stream,
             )
             results[i] = out
 

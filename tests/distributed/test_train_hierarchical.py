@@ -2,12 +2,14 @@
 
 import pytest
 
+from repro.core import inceptionn_profile
 from repro.distributed import GroupLayout, train_distributed, train_hierarchical
 from repro.dnn import LRSchedule, SGD, build_hdc, hdc_dataset
 from repro.transport import ClusterConfig
 
 
 def _run_hier(num_nodes=4, group_size=2, iterations=15, compression=False):
+    stream = inceptionn_profile() if compression else None
     return train_hierarchical(
         build_net=lambda s: build_hdc(seed=s),
         make_optimizer=lambda: SGD(LRSchedule(0.02), momentum=0.9),
@@ -15,8 +17,8 @@ def _run_hier(num_nodes=4, group_size=2, iterations=15, compression=False):
         layout=GroupLayout.even(num_nodes, group_size),
         iterations=iterations,
         batch_size=16,
-        cluster=ClusterConfig(num_nodes=num_nodes, compression=compression),
-        compress_gradients=compression,
+        cluster=ClusterConfig(num_nodes=num_nodes, profile=stream),
+        stream=stream,
     )
 
 

@@ -8,13 +8,12 @@ their timing must not regress because compression is enabled.
 import numpy as np
 import pytest
 
-from repro.core import ErrorBound
+from repro.core import ErrorBound, inceptionn_profile
 from repro.hardware import InceptionnNic
 from repro.network import (
     Network,
     Simulation,
     SwitchedStar,
-    TOS_COMPRESS,
     TOS_DEFAULT,
     uniform_nics,
 )
@@ -49,7 +48,8 @@ def test_other_traffic_timing_unaffected_by_engines():
 def test_concurrent_tagged_and_untagged_flows():
     """Training (tagged) and an app (untagged) share the fabric: the
     tagged flow shrinks on the wire, the untagged one is intact."""
-    comm = ClusterComm(ClusterConfig(num_nodes=4, compression=True))
+    stream = inceptionn_profile()
+    comm = ClusterComm(ClusterConfig(num_nodes=4, profile=stream))
     grads = np.zeros(200_000, dtype=np.float32)  # highly compressible
     app = (np.random.default_rng(0).standard_normal(200_000) * 1e6).astype(
         np.float32
@@ -57,10 +57,10 @@ def test_concurrent_tagged_and_untagged_flows():
     got = {}
 
     def training():
-        yield comm.endpoints[0].isend(1, grads, compressible=True)
+        yield comm.endpoints[0].isend(1, grads, profile=stream)
 
     def application():
-        yield comm.endpoints[2].isend(3, app, compressible=False)
+        yield comm.endpoints[2].isend(3, app)
 
     def train_rx():
         got["grads"] = yield comm.endpoints[1].recv(0)
@@ -85,16 +85,17 @@ def test_tagged_flow_on_shared_link_still_relieves_contention():
     shared downlink for the other."""
 
     def measure(compression):
-        comm = ClusterComm(ClusterConfig(num_nodes=4, compression=compression))
+        stream = inceptionn_profile() if compression else None
+        comm = ClusterComm(ClusterConfig(num_nodes=4, profile=stream))
         grads = np.zeros(1_000_000, dtype=np.float32)
         app = np.ones(1_000_000, dtype=np.float32)
         finish = {}
 
         def training():
-            yield comm.endpoints[0].isend(3, grads, compressible=True)
+            yield comm.endpoints[0].isend(3, grads, profile=stream)
 
         def application():
-            yield comm.endpoints[1].isend(3, app, compressible=False)
+            yield comm.endpoints[1].isend(3, app)
 
         def receiver():
             yield comm.endpoints[3].recv(0)

@@ -10,7 +10,7 @@ overlap.
 import numpy as np
 import pytest
 
-from repro.core import ErrorBound, compress, decompress
+from repro.core import ErrorBound, compress, decompress, inceptionn_profile
 from repro.distributed import ring_exchange
 from repro.dnn import LRSchedule, SGD, LocalTrainer, build_hdc, hdc_dataset
 from repro.hardware import InceptionnNic
@@ -84,13 +84,14 @@ def test_ring_aggregate_from_training_gradients():
         _, g = trainer.local_gradient()
         grads.append(g)
 
-    comm = ClusterComm(ClusterConfig(num_nodes=4, compression=True, bound=BOUND))
+    stream = inceptionn_profile(BOUND)
+    comm = ClusterComm(ClusterConfig(num_nodes=4, bound=BOUND, profile=stream))
     results = {}
 
     def node(i):
         def proc():
             results[i] = yield from ring_exchange(
-                comm.endpoints[i], grads[i], 4, compressible=True
+                comm.endpoints[i], grads[i], 4, stream=stream
             )
 
         return proc

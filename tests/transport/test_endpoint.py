@@ -3,13 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.core import ErrorBound
+from repro.core import ErrorBound, inceptionn_profile
 from repro.transport import ClusterComm, ClusterConfig
 
 
-def _comm(num_nodes=4, compression=False, **kwargs):
+def _comm(num_nodes=4, profile=None, **kwargs):
     return ClusterComm(
-        ClusterConfig(num_nodes=num_nodes, compression=compression, **kwargs)
+        ClusterConfig(num_nodes=num_nodes, profile=profile, **kwargs)
     )
 
 
@@ -31,16 +31,17 @@ def test_send_recv_roundtrip_exact_without_compression():
     np.testing.assert_array_equal(got["arr"], sent)
 
 
-def test_compressible_send_is_lossy_but_bounded():
+def test_compressing_send_is_lossy_but_bounded():
     bound = ErrorBound(10)
-    comm = _comm(compression=True, bound=bound)
+    stream = inceptionn_profile(bound)
+    comm = _comm(profile=stream, bound=bound)
     sent = (np.random.default_rng(1).standard_normal(5000) * 0.2).astype(
         np.float32
     )
     got = {}
 
     def sender():
-        yield comm.endpoints[0].isend(1, sent, compressible=True)
+        yield comm.endpoints[0].isend(1, sent, profile=stream)
 
     def receiver():
         got["arr"] = yield comm.endpoints[1].recv(0)
@@ -53,13 +54,13 @@ def test_compressible_send_is_lossy_but_bounded():
     assert np.max(np.abs(arr - sent)) < bound.bound
 
 
-def test_compressible_flag_ignored_without_engines():
-    comm = _comm(compression=False)
+def test_compressing_profile_ignored_without_engines():
+    comm = _comm(profile=None)
     sent = (np.random.default_rng(2).standard_normal(100) * 0.2).astype(np.float32)
     got = {}
 
     def sender():
-        yield comm.endpoints[0].isend(1, sent, compressible=True)
+        yield comm.endpoints[0].isend(1, sent, profile=inceptionn_profile())
 
     def receiver():
         got["arr"] = yield comm.endpoints[1].recv(0)
@@ -72,11 +73,12 @@ def test_compressible_flag_ignored_without_engines():
 
 
 def test_transfer_log_records_wire_bytes():
-    comm = _comm(compression=True)
+    stream = inceptionn_profile()
+    comm = _comm(profile=stream)
     sent = np.zeros(8000, dtype=np.float32)  # maximally compressible
 
     def sender():
-        yield comm.endpoints[0].isend(1, sent, compressible=True)
+        yield comm.endpoints[0].isend(1, sent, profile=stream)
 
     def receiver():
         yield comm.endpoints[1].recv(0)
@@ -94,10 +96,11 @@ def test_compression_speeds_up_virtual_time():
     sent = np.zeros(2_000_000, dtype=np.float32)
 
     def run(compression):
-        comm = _comm(compression=compression)
+        stream = inceptionn_profile() if compression else None
+        comm = _comm(profile=stream)
 
         def sender():
-            yield comm.endpoints[0].isend(1, sent, compressible=True)
+            yield comm.endpoints[0].isend(1, sent, profile=stream)
 
         def receiver():
             yield comm.endpoints[1].recv(0)

@@ -3,12 +3,13 @@
 import numpy as np
 import pytest
 
+from repro.core import inceptionn_profile
 from repro.transport import ClusterComm, ClusterConfig
 
 
-def _comm(num_nodes=3, compression=False, **kwargs):
+def _comm(num_nodes=3, profile=None, **kwargs):
     return ClusterComm(
-        ClusterConfig(num_nodes=num_nodes, compression=compression, **kwargs)
+        ClusterConfig(num_nodes=num_nodes, profile=profile, **kwargs)
     )
 
 
@@ -29,11 +30,12 @@ class TestSizedSends:
         assert got == [12345]
 
     def test_sized_send_ratio_shrinks_wire(self):
-        comm = _comm(compression=True)
+        stream = inceptionn_profile()
+        comm = _comm(profile=stream)
 
         def sender():
             yield comm.endpoints[0].isend_sized(
-                1, 1_000_000, compressible=True, compression_ratio=10.0
+                1, 1_000_000, profile=stream, compression_ratio=10.0
             )
 
         def receiver():
@@ -45,10 +47,11 @@ class TestSizedSends:
         assert comm.transfers[0].wire_payload_nbytes == 100_000
 
     def test_ratio_below_one_rejected(self):
-        comm = _comm(compression=True)
+        stream = inceptionn_profile()
+        comm = _comm(profile=stream)
         with pytest.raises(ValueError):
             comm.endpoints[0].isend_sized(
-                1, 100, compressible=True, compression_ratio=0.5
+                1, 100, profile=stream, compression_ratio=0.5
             )
 
     def test_negative_size_rejected(self):
@@ -57,11 +60,11 @@ class TestSizedSends:
             comm.endpoints[0].isend_sized(1, -10)
 
     def test_ratio_ignored_without_engines(self):
-        comm = _comm(compression=False)
+        comm = _comm(profile=None)
 
         def sender():
             yield comm.endpoints[0].isend_sized(
-                1, 1000, compressible=True, compression_ratio=10.0
+                1, 1000, profile=inceptionn_profile(), compression_ratio=10.0
             )
 
         def receiver():
