@@ -9,7 +9,14 @@ Subcommands
 ``train``       run the simulated-cluster training demo
 ``exchange``    paper-scale gradient-exchange timing under any codec
 ``codecs``      list registered gradient codecs and their measured ratios
+``trace``       run / validate / summarize / convert execution traces
 ``lint``        repo-aware static analysis (see ``repro lint --list-rules``)
+
+``train`` and ``exchange`` accept ``--trace out.json`` to record the
+run's message, link, ring-step and codec events (plus the metrics
+snapshot) in the versioned ``repro.trace`` JSON format; add
+``--trace-chrome out.json`` for a ``chrome://tracing`` /
+Perfetto-loadable rendering of the same events.
 """
 
 from __future__ import annotations
@@ -100,6 +107,42 @@ def _stream_for(args: argparse.Namespace):
         raise SystemExit(f"--codec: {exc.args[0]}")
 
 
+def _tracer_for(args: argparse.Namespace):
+    """Build a Tracer when ``--trace``/``--trace-chrome`` was given."""
+    if getattr(args, "trace", None) or getattr(args, "trace_chrome", None):
+        from repro.obs import Tracer
+
+        return Tracer()
+    return None
+
+
+def _write_trace_outputs(
+    tracer, args: argparse.Namespace, **meta: object
+) -> None:
+    """Write the requested trace files and report where they went."""
+    if tracer is None:
+        return
+    from repro.obs import trace_document, write_chrome, write_trace
+
+    if getattr(args, "trace", None):
+        write_trace(tracer, args.trace, meta=dict(meta))
+        print(f"trace: {len(tracer.events)} events -> {args.trace}")
+    if getattr(args, "trace_chrome", None):
+        write_chrome(trace_document(tracer, meta=dict(meta)), args.trace_chrome)
+        print(f"chrome trace -> {args.trace_chrome}")
+
+
+def _add_trace_arguments(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a repro.trace JSON of the run's recorded events",
+    )
+    p.add_argument(
+        "--trace-chrome", default=None, metavar="FILE",
+        help="write the run's events in Chrome tracing (Perfetto) format",
+    )
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     from repro.core import inceptionn_profile
     from repro.distributed import train_distributed
@@ -109,6 +152,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
     stream = _stream_for(args)
     if stream is None and args.compress:
         stream = inceptionn_profile()
+    tracer = _tracer_for(args)
     num_nodes = args.workers + 1 if args.algorithm == "wa" else args.workers
     result = train_distributed(
         algorithm=args.algorithm,
@@ -120,6 +164,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         cluster=ClusterConfig(num_nodes=num_nodes, profile=stream),
         stream=stream,
+        tracer=tracer,
         seed=args.seed,
     )
     tag = f"+{args.codec}" if args.codec else ("+C" if args.compress else "")
@@ -129,6 +174,16 @@ def _cmd_train(args: argparse.Namespace) -> int:
         f"top-1 {result.final_top1:.3f}, "
         f"simulated {result.virtual_time_s:.3f} s "
         f"({100 * result.communication_fraction:.0f}% communication)"
+    )
+    _write_trace_outputs(
+        tracer,
+        args,
+        command="train",
+        algorithm=args.algorithm,
+        workers=args.workers,
+        iterations=args.iterations,
+        codec=args.codec or ("inceptionn" if args.compress else None),
+        virtual_time_s=result.virtual_time_s,
     )
     return 0
 
@@ -141,6 +196,7 @@ def _cmd_exchange(args: argparse.Namespace) -> int:
     )
 
     stream = _stream_for(args)
+    tracer = _tracer_for(args)
     simulate = (
         simulate_ring_exchange if args.algorithm == "ring" else simulate_wa_exchange
     )
@@ -150,6 +206,7 @@ def _cmd_exchange(args: argparse.Namespace) -> int:
         iterations=args.iterations,
         bandwidth_bps=args.gbps * 1e9,
         stream=stream,
+        tracer=tracer,
     )
     label = f"{args.algorithm}+{args.codec}" if stream else args.algorithm
     print(
@@ -160,6 +217,16 @@ def _cmd_exchange(args: argparse.Namespace) -> int:
         print(f"  measured ratio {measure_profile_ratio(stream):10.2f}x")
     print(f"  per iteration  {result.per_iteration_s * 1e3:10.2f} ms")
     print(f"  total          {result.total_s * 1e3:10.2f} ms")
+    _write_trace_outputs(
+        tracer,
+        args,
+        command="exchange",
+        algorithm=args.algorithm,
+        workers=args.workers,
+        iterations=args.iterations,
+        codec=args.codec,
+        total_s=result.total_s,
+    )
     return 0
 
 
@@ -179,6 +246,117 @@ def _cmd_codecs(args: argparse.Namespace) -> int:
         kind = "lossless" if codec.lossless else "lossy"
         print(f"{name:<16}{codec_tos(name):#04x}  {kind:<10}{ratio:<8.2f}{params}")
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.action == "run":
+        from repro.obs import Tracer, write_trace
+        from repro.perfmodel import simulate_ring_exchange, simulate_wa_exchange
+
+        tracer = Tracer()
+        simulate = (
+            simulate_ring_exchange
+            if args.algorithm == "ring"
+            else simulate_wa_exchange
+        )
+        result = simulate(
+            num_workers=args.workers,
+            nbytes=int(args.mbytes * 1e6),
+            iterations=args.iterations,
+            bandwidth_bps=args.gbps * 1e9,
+            compress_gradients=args.compress,
+            tracer=tracer,
+        )
+        write_trace(
+            tracer,
+            args.output,
+            meta={
+                "command": "trace run",
+                "algorithm": args.algorithm,
+                "workers": args.workers,
+                "iterations": args.iterations,
+                "compress": args.compress,
+                "total_s": result.total_s,
+            },
+        )
+        print(
+            f"{args.algorithm} x{args.workers}: {result.total_s * 1e3:.2f} ms, "
+            f"{len(tracer.events)} events -> {args.output}"
+        )
+        return 0
+
+    if args.action == "validate":
+        import json
+
+        from repro.obs import validate_trace
+
+        doc = json.loads(Path(args.input).read_text(encoding="utf-8"))
+        try:
+            validate_trace(doc)
+        except ValueError as exc:
+            print(f"{args.input}: INVALID: {exc}")
+            return 1
+        print(
+            f"{args.input}: valid {doc['schema']} v{doc['version']}, "
+            f"{len(doc['events'])} events"
+        )
+        return 0
+
+    if args.action == "summary":
+        from collections import Counter as TallyCounter
+
+        from repro.obs import load_trace, validate_trace
+
+        doc = load_trace(args.input)
+        validate_trace(doc)
+        events = doc["events"]
+        by_kind = TallyCounter(
+            (event["cat"], event["name"]) for event in events
+        )
+        print(f"{args.input}: {len(events)} events")
+        for (cat, name), count in sorted(by_kind.items()):
+            print(f"  {cat:<8} {name:<18} {count:>8}")
+        phase_totals: dict = {}
+        for event in events:
+            if event["cat"] == "phase":
+                phase_totals[event["name"]] = (
+                    phase_totals.get(event["name"], 0.0) + event["dur"]
+                )
+        if phase_totals:
+            print("phase totals:")
+            for name, total in sorted(phase_totals.items()):
+                print(f"  {name:<14} {total * 1e3:12.3f} ms")
+        counters = doc.get("metrics", {}).get("counters", {})
+        if counters:
+            print("counters:")
+            for name, value in sorted(counters.items()):
+                print(f"  {name:<32} {value:>12}")
+        return 0
+
+    if args.action == "chrome":
+        from repro.obs import load_trace, to_chrome, validate_trace
+
+        doc = load_trace(args.input)
+        validate_trace(doc)
+        chrome = to_chrome(doc)
+        import json
+
+        Path(args.output).write_text(json.dumps(chrome, indent=1))
+        print(
+            f"{args.input} -> {args.output} "
+            f"({len(chrome['traceEvents'])} Chrome events)"
+        )
+        return 0
+
+    if args.action == "schema":
+        import json
+
+        from repro.obs import TRACE_SCHEMA
+
+        print(json.dumps(TRACE_SCHEMA, indent=2))
+        return 0
+
+    raise SystemExit(f"unknown trace action {args.action!r}")
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -234,6 +412,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="registered codec for the gradient stream (see `repro codecs`)",
     )
     p.add_argument("--seed", type=int, default=0)
+    _add_trace_arguments(p)
     p.set_defaults(func=_cmd_train)
 
     p = sub.add_parser("exchange", help="paper-scale exchange timing")
@@ -246,11 +425,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--codec", default=None, metavar="NAME",
         help="registered codec for the gradient stream (see `repro codecs`)",
     )
+    _add_trace_arguments(p)
     p.set_defaults(func=_cmd_exchange)
 
     p = sub.add_parser("codecs", help="list registered gradient codecs")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_codecs)
+
+    p = sub.add_parser("trace", help="execution-trace tooling")
+    trace_sub = p.add_subparsers(dest="action", required=True)
+
+    t = trace_sub.add_parser("run", help="run a traced exchange")
+    t.add_argument("output", help="output trace JSON path")
+    t.add_argument("--algorithm", default="ring", choices=("ring", "wa"))
+    t.add_argument("--workers", type=int, default=4)
+    t.add_argument("--iterations", type=int, default=1)
+    t.add_argument("--mbytes", type=float, default=1.0, help="gradient MB")
+    t.add_argument("--gbps", type=float, default=10.0)
+    t.add_argument("--compress", action="store_true")
+    t.set_defaults(func=_cmd_trace)
+
+    t = trace_sub.add_parser("validate", help="validate a trace JSON")
+    t.add_argument("input")
+    t.set_defaults(func=_cmd_trace)
+
+    t = trace_sub.add_parser("summary", help="summarize a trace JSON")
+    t.add_argument("input")
+    t.set_defaults(func=_cmd_trace)
+
+    t = trace_sub.add_parser("chrome", help="convert to Chrome tracing format")
+    t.add_argument("input")
+    t.add_argument("output")
+    t.set_defaults(func=_cmd_trace)
+
+    t = trace_sub.add_parser("schema", help="print the trace JSON schema")
+    t.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("lint", help="repo-aware static analysis")
     from repro.analysis.cli import add_lint_arguments

@@ -12,6 +12,7 @@ design would keep it (in host memory, added before DMA).
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Optional
 
 import numpy as np
@@ -33,9 +34,24 @@ class ErrorFeedbackCompressor:
 
         The reconstruction is what the receivers will see; the new
         residual is what they did not.
+
+        If the gradient length changes between calls (a different model,
+        or a re-partitioned shard) the held-back residual is no longer
+        addressable — it is dropped *explicitly*, with a
+        ``RuntimeWarning``, rather than silently ignored.
         """
         grad = np.ascontiguousarray(gradient, dtype=np.float32).reshape(-1)
-        if self._residual is not None and self._residual.shape == grad.shape:
+        if self._residual is not None and self._residual.shape != grad.shape:
+            warnings.warn(
+                "gradient length changed from "
+                f"{self._residual.shape[0]} to {grad.shape[0]}; "
+                "dropping the accumulated error-feedback residual "
+                f"(norm {self.residual_norm:.3g})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self._residual = None
+        if self._residual is not None:
             grad = (grad + self._residual).astype(np.float32)
         wire = compress(grad, self.bound)
         reconstruction = decompress(wire)

@@ -64,13 +64,21 @@ def bitwidth_distribution(
 
 
 def compression_ratio(values: np.ndarray, bound: ErrorBound) -> float:
-    """Exact wire-format compression ratio for a gradient vector."""
+    """Exact wire-format compression ratio for a gradient vector.
+
+    Raises ``ValueError`` on an empty vector — the ratio of zero bytes
+    is undefined, and returning a quiet 1.0 here while
+    :func:`bitwidth_distribution` raised made the two disagree on the
+    same degenerate input.
+    """
     tags = classify(np.asarray(values, dtype=np.float32).reshape(-1), bound)
     n = tags.shape[0]
+    if n == 0:
+        raise ValueError("cannot compute a compression ratio over zero values")
     payload_bits = int(PAYLOAD_BITS_LUT[tags].astype(np.int64).sum())
     groups = -(-n // GROUP_SIZE)
     total_bits = groups * GROUP_TAG_BITS + payload_bits
-    return (n * 32) / total_bits if total_bits else 1.0
+    return (n * 32) / total_bits
 
 
 def average_compression_ratio(

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.core import StreamProfile
 from repro.dnn.data import Dataset
+from repro.obs import CAT_ASYNC, Tracer
 from repro.dnn.network import Sequential
 from repro.dnn.optim import SGD
 from repro.dnn.training import LocalTrainer
@@ -65,6 +66,7 @@ def train_async_ps(
     stream: Optional[StreamProfile] = None,
     max_staleness: Optional[int] = None,
     compute_jitter: float = 0.0,
+    tracer: Optional[Tracer] = None,
     seed: int = 0,
 ) -> AsyncRunResult:
     """Asynchronous training: workers push g, server replies with w.
@@ -88,7 +90,7 @@ def train_async_ps(
     config = cluster or ClusterConfig(num_nodes=num_workers + 1, profile=stream)
     if config.num_nodes != num_workers + 1:
         raise ValueError("cluster config must have num_workers + 1 nodes")
-    comm = ClusterComm(config)
+    comm = ClusterComm(config, tracer=tracer)
     comm.endpoints[server_id].promiscuous = True
     if stream is None and compress_gradients:
         stream = comm.default_profile
@@ -149,8 +151,18 @@ def train_async_ps(
                 yield comm.sim.timeout(compute)
             loss, grad = trainer.local_gradient()
             result.losses.append(loss)
+            round_start = comm.sim.now
             ep.isend(server_id, grad, profile=stream)
             weights = yield ep.recv(server_id)
+            if tracer is not None:
+                tracer.span(
+                    "async.round",
+                    cat=CAT_ASYNC,
+                    ts=round_start,
+                    dur=comm.sim.now - round_start,
+                    node=i,
+                    iteration=iteration,
+                )
             trainer.net.set_parameter_vector(weights)
             worker_progress[i] = iteration + 1
             wake_waiters()
@@ -162,9 +174,20 @@ def train_async_ps(
             src, grad = yield ep.recv_any()
             if profile.sum_bandwidth_bps:
                 yield comm.sim.timeout(profile.sum_time(grad.nbytes))
-            result.staleness.append(
-                server_version[0] - worker_pull_version[src]
-            )
+            staleness = server_version[0] - worker_pull_version[src]
+            result.staleness.append(staleness)
+            if tracer is not None:
+                tracer.instant(
+                    "async.apply",
+                    cat=CAT_ASYNC,
+                    ts=comm.sim.now,
+                    node=server_id,
+                    src=src,
+                    staleness=staleness,
+                )
+                tracer.metrics.histogram(
+                    "staleness", buckets=(0, 1, 2, 4, 8, 16)
+                ).observe(staleness)
             server_opt.step_with_vector(server_net, grad)
             server_version[0] += 1
             if profile.update_s:

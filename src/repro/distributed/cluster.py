@@ -20,9 +20,10 @@ from repro.dnn.data import Dataset
 from repro.dnn.network import Sequential
 from repro.dnn.optim import SGD
 from repro.dnn.training import LocalTrainer
+from repro.obs import CAT_PHASE, Tracer
 from repro.transport.endpoint import ClusterComm, ClusterConfig
 
-from .node import ComputeProfile, ZERO_COMPUTE
+from .node import ComputeProfile, ZERO_COMPUTE, record_compute_phases
 from .ring import ring_exchange
 from .worker_aggregator import aggregator_exchange, worker_exchange
 
@@ -35,6 +36,22 @@ PHASE_NAMES = (
     "communicate",
     "update",
 )
+
+
+def phase_seconds_from_trace(
+    tracer: Tracer, total_s: float
+) -> Dict[str, float]:
+    """Rebuild the Table II phase dict from recorded ``phase`` spans.
+
+    Every attributed phase is the sum of its span durations; the
+    residual of the run's total time is ``communicate`` — the same
+    accounting the paper's harness uses, now sourced from the trace.
+    """
+    totals = tracer.phase_totals()
+    phases = {name: totals.get(name, 0.0) for name in PHASE_NAMES}
+    attributed = sum(phases[name] for name in PHASE_NAMES if name != "communicate")
+    phases["communicate"] = max(0.0, total_s - attributed)
+    return phases
 
 
 @dataclass
@@ -77,6 +94,7 @@ def train_distributed(
     compress_gradients: bool = False,
     stream: Optional[StreamProfile] = None,
     eval_every: Optional[int] = None,
+    tracer: Optional[Tracer] = None,
     seed: int = 0,
 ) -> DistributedRunResult:
     """Train replicas of ``build_net(seed)`` across a simulated cluster.
@@ -102,7 +120,7 @@ def train_distributed(
         raise ValueError(
             f"cluster config has {config.num_nodes} nodes, run needs {num_nodes}"
         )
-    comm = ClusterComm(config)
+    comm = ClusterComm(config, tracer=tracer)
     if stream is None and compress_gradients:
         stream = comm.default_profile
 
@@ -139,6 +157,7 @@ def train_distributed(
             account_compute,
             eval_every,
             eval_top1,
+            tracer,
         )
     else:
         _spawn_wa_processes(
@@ -155,6 +174,7 @@ def train_distributed(
             account_compute,
             eval_every,
             eval_top1,
+            tracer,
         )
 
     total_time = comm.run()
@@ -162,8 +182,13 @@ def train_distributed(
     # Residual accounting: everything not attributed to a compute phase
     # on the per-iteration critical path is communication (Table II's
     # "Communicate" row is exactly this residual in the paper's harness).
-    attributed = sum(phase.values())
-    phase["communicate"] = max(0.0, total_time - attributed)
+    # With a tracer attached the breakdown is rebuilt from the recorded
+    # phase spans — the trace is the authoritative record.
+    if tracer is not None:
+        phase = phase_seconds_from_trace(tracer, total_time)
+    else:
+        attributed = sum(phase.values())
+        phase["communicate"] = max(0.0, total_time - attributed)
 
     if eval_every:
         # Checkpoint accuracies are recorded by worker 0 during the run.
@@ -194,6 +219,7 @@ def _spawn_ring_processes(
     account_compute: Callable[[], None],
     eval_every: Optional[int],
     eval_top1: List[float],
+    tracer: Optional[Tracer] = None,
 ) -> None:
     num_workers = len(trainers)
 
@@ -201,10 +227,13 @@ def _spawn_ring_processes(
         ep = comm.endpoints[i]
         trainer = trainers[i]
         for iteration in range(iterations):
+            compute_start = comm.sim.now
             if profile.local_compute_s:
                 yield comm.sim.timeout(profile.local_compute_s)
             if i == 0:
                 account_compute()
+                if tracer is not None:
+                    record_compute_phases(tracer, profile, compute_start, i)
             loss, grad = trainer.local_gradient()
             losses[iteration].append(loss)
             aggregate = yield from ring_exchange(
@@ -216,13 +245,31 @@ def _spawn_ring_processes(
             )
             if i == 0:
                 # Each node reduces (N-1)/N of the vector during P1.
-                phase["gradient_sum"] += profile.sum_time(
+                sum_dt = profile.sum_time(
                     int(grad.nbytes * (num_workers - 1) / num_workers)
                 )
+                phase["gradient_sum"] += sum_dt
+                if tracer is not None and sum_dt:
+                    tracer.span(
+                        "gradient_sum",
+                        cat=CAT_PHASE,
+                        ts=comm.sim.now,
+                        dur=sum_dt,
+                        node=i,
+                    )
+            update_start = comm.sim.now
             if profile.update_s:
                 yield comm.sim.timeout(profile.update_s)
             if i == 0:
                 phase["update"] += profile.update_s
+                if tracer is not None and profile.update_s:
+                    tracer.span(
+                        "update",
+                        cat=CAT_PHASE,
+                        ts=update_start,
+                        dur=profile.update_s,
+                        node=i,
+                    )
             trainer.apply_gradient(aggregate)
             if i == 0 and eval_every and (iteration + 1) % eval_every == 0:
                 eval_top1.append(trainer.evaluate()[0])
@@ -245,6 +292,7 @@ def _spawn_wa_processes(
     account_compute: Callable[[], None],
     eval_every: Optional[int],
     eval_top1: List[float],
+    tracer: Optional[Tracer] = None,
 ) -> None:
     num_workers = len(trainers)
     aggregator_id = num_workers
@@ -255,10 +303,13 @@ def _spawn_wa_processes(
         ep = comm.endpoints[i]
         trainer = trainers[i]
         for iteration in range(iterations):
+            compute_start = comm.sim.now
             if profile.local_compute_s:
                 yield comm.sim.timeout(profile.local_compute_s)
             if i == 0:
                 account_compute()
+                if tracer is not None:
+                    record_compute_phases(tracer, profile, compute_start, i)
             loss, grad = trainer.local_gradient()
             losses[iteration].append(loss)
             weights = yield from worker_exchange(
@@ -283,10 +334,26 @@ def _spawn_wa_processes(
             yield from aggregator_exchange(
                 ep, workers, apply_update, profile=profile
             )
-            phase["gradient_sum"] += profile.sum_time(
-                agg_net.nbytes * (num_workers - 1)
-            )
+            sum_dt = profile.sum_time(agg_net.nbytes * (num_workers - 1))
+            phase["gradient_sum"] += sum_dt
             phase["update"] += profile.update_s
+            if tracer is not None:
+                if sum_dt:
+                    tracer.span(
+                        "gradient_sum",
+                        cat=CAT_PHASE,
+                        ts=comm.sim.now,
+                        dur=sum_dt,
+                        node=aggregator_id,
+                    )
+                if profile.update_s:
+                    tracer.span(
+                        "update",
+                        cat=CAT_PHASE,
+                        ts=comm.sim.now,
+                        dur=profile.update_s,
+                        node=aggregator_id,
+                    )
 
     for i in range(num_workers):
         comm.sim.process(worker(i))

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core import StreamProfile
 from repro.network import Event
+from repro.obs import CAT_HIER, CAT_PHASE, Tracer
 from repro.transport.endpoint import ClusterComm
 
 from .node import ComputeProfile
@@ -75,6 +76,8 @@ class _ScopedEndpoint:
         self._members = list(members)
         self.comm = comm
         self.node_id = self._members.index(node)
+        #: Cluster-global id, so trace events keep stable node labels.
+        self.global_node = node
 
     def isend(
         self,
@@ -107,7 +110,9 @@ def hierarchical_exchange(
     """
     group = layout.group_of(node)
     leader = group[0]
+    tracer = comm.tracer
 
+    level1_start = comm.sim.now
     group_ep = _ScopedEndpoint(comm, group, node)
     group_sum = yield from ring_exchange(
         group_ep,
@@ -116,6 +121,15 @@ def hierarchical_exchange(
         profile=profile,
         stream=stream,
     )
+    if tracer is not None:
+        tracer.span(
+            "hier.group_ring",
+            cat=CAT_HIER,
+            ts=level1_start,
+            dur=comm.sim.now - level1_start,
+            node=node,
+            group_size=len(group),
+        )
 
     leaders: List[int] = list(layout.leaders)
     if len(leaders) == 1:
@@ -123,6 +137,7 @@ def hierarchical_exchange(
 
     ep = comm.endpoints[node]
     if node == leader:
+        level2_start = comm.sim.now
         leader_ep = _ScopedEndpoint(comm, leaders, node)
         global_sum = yield from ring_exchange(
             leader_ep,
@@ -131,12 +146,31 @@ def hierarchical_exchange(
             profile=profile,
             stream=stream,
         )
+        if tracer is not None:
+            tracer.span(
+                "hier.leader_ring",
+                cat=CAT_HIER,
+                ts=level2_start,
+                dur=comm.sim.now - level2_start,
+                node=node,
+                num_leaders=len(leaders),
+            )
+        bcast_start = comm.sim.now
         events = [
             ep.isend(member, global_sum, profile=stream)
             for member in group[1:]
         ]
         if events:
             yield comm.sim.all_of(events)
+            if tracer is not None:
+                tracer.span(
+                    "hier.broadcast",
+                    cat=CAT_HIER,
+                    ts=bcast_start,
+                    dur=comm.sim.now - bcast_start,
+                    node=node,
+                    fanout=len(events),
+                )
         return global_sum
 
     global_sum = yield ep.recv(leader)
@@ -154,6 +188,7 @@ def train_hierarchical(
     profile: "ComputeProfile | None" = None,
     compress_gradients: bool = False,
     stream: "StreamProfile | None" = None,
+    tracer: "Tracer | None" = None,
     seed: int = 0,
 ) -> "DistributedRunResult":
     """End-to-end training with the two-level exchange (Fig 1c).
@@ -166,7 +201,7 @@ def train_hierarchical(
     from repro.dnn.training import LocalTrainer
     from repro.transport.endpoint import ClusterComm, ClusterConfig
 
-    from .cluster import DistributedRunResult, PHASE_NAMES
+    from .cluster import DistributedRunResult, PHASE_NAMES, record_compute_phases
     from .node import ZERO_COMPUTE
 
     profile = profile or ZERO_COMPUTE
@@ -174,7 +209,7 @@ def train_hierarchical(
     config = cluster or ClusterConfig(num_nodes=num_nodes, profile=stream)
     if config.num_nodes != num_nodes:
         raise ValueError("cluster config node count must match the layout")
-    comm = ClusterComm(config)
+    comm = ClusterComm(config, tracer=tracer)
     if stream is None and compress_gradients:
         stream = comm.default_profile
 
@@ -194,21 +229,33 @@ def train_hierarchical(
     def worker(i: int):
         trainer = trainers[i]
         for iteration in range(iterations):
+            compute_start = comm.sim.now
             if profile.local_compute_s:
                 yield comm.sim.timeout(profile.local_compute_s)
             if i == 0:
                 phase["forward"] += profile.forward_s
                 phase["backward"] += profile.backward_s
                 phase["gpu_copy"] += profile.gpu_copy_s
+                if tracer is not None:
+                    record_compute_phases(tracer, profile, compute_start, i)
             loss, grad = trainer.local_gradient()
             losses[iteration].append(loss)
             aggregate = yield from hierarchical_exchange(
                 comm, i, grad, layout, profile=profile, stream=stream
             )
+            update_start = comm.sim.now
             if profile.update_s:
                 yield comm.sim.timeout(profile.update_s)
             if i == 0:
                 phase["update"] += profile.update_s
+                if tracer is not None:
+                    tracer.span(
+                        "update",
+                        cat=CAT_PHASE,
+                        ts=update_start,
+                        dur=profile.update_s,
+                        node=i,
+                    )
             trainer.apply_gradient(aggregate)
 
     for i in range(num_nodes):

@@ -7,6 +7,8 @@ from typing import List
 
 import numpy as np
 
+from repro.obs import CAT_PHASE, Tracer
+
 
 @dataclass(frozen=True)
 class ComputeProfile:
@@ -42,6 +44,25 @@ class ComputeProfile:
 
 #: A profile with zero compute time — communication-only experiments.
 ZERO_COMPUTE = ComputeProfile(sum_bandwidth_bps=0.0)
+
+
+def record_compute_phases(
+    tracer: Tracer, profile: ComputeProfile, ts: float, node: int
+) -> None:
+    """Emit the forward/backward/gpu_copy spans of one local-compute block.
+
+    The three spans tile the ``local_compute_s`` timeout back-to-back,
+    so their per-phase sums equal the inline ``+=`` accounting exactly.
+    """
+    t = ts
+    for name, dur in (
+        ("forward", profile.forward_s),
+        ("backward", profile.backward_s),
+        ("gpu_copy", profile.gpu_copy_s),
+    ):
+        if dur:
+            tracer.span(name, cat=CAT_PHASE, ts=t, dur=dur, node=node)
+            t += dur
 
 
 def partition_blocks(vector: np.ndarray, num_blocks: int) -> List[np.ndarray]:

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.core import StreamProfile
 from repro.network import Event
+from repro.obs import CAT_RING
 from repro.transport.endpoint import Endpoint
 
 from .node import ComputeProfile, concatenate_blocks, partition_blocks
@@ -51,7 +52,9 @@ def ring_exchange(
     successor = (i + 1) % n
     predecessor = (i - 1) % n
 
+    tracer = ep.comm.tracer
     for step in range(1, 2 * n - 1):
+        step_start = ep.comm.sim.now
         send_idx = (i - step + 1) % n
         recv_idx = (i - step) % n
         ep.isend(successor, blocks[send_idx], profile=stream)
@@ -64,6 +67,18 @@ def ring_exchange(
         else:
             # P2: propagate the fully aggregated block.
             blocks[recv_idx] = np.array(received, dtype=np.float32, copy=True)
+        if tracer is not None:
+            tracer.span(
+                "ring.step",
+                cat=CAT_RING,
+                ts=step_start,
+                dur=ep.comm.sim.now - step_start,
+                node=getattr(ep, "global_node", ep.node_id),
+                step=step,
+                ring_phase="P1" if step < n else "P2",
+                send_block=send_idx,
+                recv_block=recv_idx,
+            )
 
     return concatenate_blocks(blocks)
 

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.bounds import ErrorBound
 from repro.network.packet import TOS_COMPRESS, Packet, segment_bytes
+from repro.obs import CAT_CODEC, Tracer
 
 from .axi import WORDS_PER_BURST
 from .compression_engine import DEFAULT_CLOCK_HZ, CompressionEngine
@@ -120,10 +121,13 @@ class InceptionnNic:
         enabled: bool = True,
         num_blocks: int = WORDS_PER_BURST,
         clock_hz: float = DEFAULT_CLOCK_HZ,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.node_id = node_id
         self.bound = bound
         self.enabled = enabled
+        #: Nullable tracer: records per-packet engine calls + tag classes.
+        self.tracer = tracer
         self.compressor = CompressionEngine(bound, num_blocks, clock_hz)
         self.decompressor = DecompressionEngine(bound, num_blocks, clock_hz)
         self.counters = NicCounters()
@@ -156,6 +160,50 @@ class InceptionnNic:
 
     # -- per-packet datapath -----------------------------------------------------
 
+    def _trace_engine_call(
+        self, name: str, engine: str, packet: Packet, out_nbytes: int
+    ) -> None:
+        """Record one engine pass (and, for INCEPTIONN, its tag classes).
+
+        The functional NIC model runs outside simulated time, so these
+        events carry ``ts=0`` — they order by record sequence, and their
+        value is the per-packet achieved ratio and tag-class census.
+        """
+        assert self.tracer is not None
+        in_nbytes = packet.payload_nbytes
+        ratio = in_nbytes / out_nbytes if out_nbytes else float("inf")
+        self.tracer.instant(
+            name,
+            cat=CAT_CODEC,
+            ts=0.0,
+            node=self.node_id,
+            engine=engine,
+            seq=packet.seq,
+            tos=packet.tos,
+            nbytes_in=in_nbytes,
+            nbytes_out=out_nbytes,
+            ratio=ratio,
+        )
+        metrics = self.tracer.metrics
+        metrics.counter(f"{name}_packets", engine=engine).inc()
+        if (
+            name == "nic.compress"
+            and engine == "inceptionn"
+            and packet.payload is not None
+            and in_nbytes % 4 == 0
+            and in_nbytes
+        ):
+            from repro.core.codec import classify
+
+            values = np.frombuffer(packet.payload, dtype=np.float32)
+            tags = classify(values, self.bound)
+            counts = np.bincount(tags, minlength=4)
+            for tag in range(4):
+                if counts[tag]:
+                    metrics.counter("tag_class_values", tag=tag).inc(
+                        int(counts[tag])
+                    )
+
     def process_tx(self, packet: Packet) -> Packet:
         """Transmit-side classification + compression of one packet."""
         self.counters.tx_packets += 1
@@ -171,6 +219,10 @@ class InceptionnNic:
         self.counters.tx_compressed += 1
         self.counters.tx_payload_bytes_in += len(packet.payload)
         self.counters.tx_payload_bytes_out += len(compressed)
+        if self.tracer is not None:
+            self._trace_engine_call(
+                "nic.compress", engine.name, packet, len(compressed)
+            )
         return Packet(
             src=packet.src,
             dst=packet.dst,
@@ -200,6 +252,10 @@ class InceptionnNic:
         )
         restored = engine.decompress(packet.payload, num_values)
         self.counters.rx_decompressed += 1
+        if self.tracer is not None:
+            self._trace_engine_call(
+                "nic.decompress", engine.name, packet, len(restored)
+            )
         original_context = (
             context.original_context
             if isinstance(context, _CompressionContext)

@@ -10,7 +10,10 @@ precisely the FIFO queue on the switch-to-aggregator link.
 
 from __future__ import annotations
 
-from typing import Tuple
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.obs import Tracer
 
 from .events import Event, Simulation
 from .loss import LossModel, LossyLinkMixin
@@ -40,6 +43,46 @@ class Link:
         #: Total time the link spent serializing, for utilization accounting.
         self.busy_time = 0.0
         self._loss = LossyLinkMixin(None)
+        #: Role of this FIFO resource in trace output ("link" or "engine").
+        self.kind = "link"
+        #: Nullable tracer; ``None`` keeps the hot path allocation-free.
+        self.tracer: Optional[Tracer] = None
+        self._inflight: Optional[Deque[float]] = None
+
+    def attach_tracer(self, tracer: Tracer, kind: Optional[str] = None) -> None:
+        """Enable occupancy tracing on this resource (idempotent)."""
+        self.tracer = tracer
+        if kind is not None:
+            self.kind = kind
+        if self._inflight is None:
+            self._inflight = deque()
+
+    def _trace_transfer(
+        self, now: float, start: float, finish: float, nbytes: int
+    ) -> None:
+        """Record one reserved transfer: occupancy span + queue metrics."""
+        queue = self._inflight
+        assert queue is not None and self.tracer is not None
+        while queue and queue[0] <= now:
+            queue.popleft()
+        depth = len(queue)  # trains already holding the FIFO ahead of us
+        queue.append(finish)
+        self.tracer.span(
+            f"{self.kind}.xfer",
+            cat=self.kind,
+            ts=start,
+            dur=finish - start,
+            resource=self.name,
+            nbytes=nbytes,
+            wait_s=start - now,
+            queue_depth=depth,
+        )
+        metrics = self.tracer.metrics
+        metrics.counter(f"{self.kind}_bytes", resource=self.name).inc(nbytes)
+        metrics.gauge(f"{self.kind}_queue_depth", resource=self.name).set(depth)
+        metrics.histogram(f"{self.kind}_queue_wait_s", resource=self.name).observe(
+            start - now
+        )
 
     def attach_loss(self, model: LossModel, salt: int = 0) -> None:
         """Enable Bernoulli train loss on this link."""
@@ -77,6 +120,8 @@ class Link:
         self._free_at = finish
         self.bytes_carried += nbytes
         self.busy_time += serialization
+        if self.tracer is not None:
+            self._trace_transfer(now, start, finish, nbytes)
         sent = self.sim.timeout(finish - now)
         delivered = self.sim.timeout(finish + self.latency_s - now)
         return sent, delivered
@@ -103,6 +148,8 @@ class Link:
         self._free_at = finish
         self.bytes_carried += nbytes
         self.busy_time += serialization
+        if self.tracer is not None:
+            self._trace_transfer(now, start, finish, nbytes)
         head_arrival = start + self.serialization_time(head_nbytes) + self.latency_s
         head_arrived = self.sim.timeout(head_arrival - now)
         delivered = self.sim.timeout(finish + self.latency_s - now)

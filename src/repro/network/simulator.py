@@ -21,8 +21,10 @@ hardware integration of Sec. VI-A:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Generator, Iterable, List, Optional
+
+from repro.obs import CAT_MESSAGE, Tracer
 
 from .events import Event, Simulation
 from .link import Link
@@ -57,10 +59,21 @@ class MessageReceipt:
     num_packets: int
     compressed: bool
     sent_at: float
-    delivered_at: float = field(default=float("nan"))
+    #: Delivery time; ``None`` until the message actually lands.
+    delivered_at: Optional[float] = None
+
+    @property
+    def delivered(self) -> bool:
+        """Whether the message has reached its destination yet."""
+        return self.delivered_at is not None
 
     @property
     def duration(self) -> float:
+        """Send-to-delivery time; raises while the message is in flight."""
+        if self.delivered_at is None:
+            raise RuntimeError(
+                f"message {self.src}->{self.dst} not delivered yet"
+            )
         return self.delivered_at - self.sent_at
 
 
@@ -80,10 +93,12 @@ class Network:
         nics: Optional[Dict[int, NicTimingModel]] = None,
         loss: Optional[LossModel] = None,
         retransmit: Optional[RetransmitPolicy] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if mss <= 0 or train_packets <= 0:
             raise ValueError("mss and train_packets must be positive")
         self.sim = sim
+        self.tracer = tracer
         self.topology = topology
         self.mss = mss
         self.train_packets = train_packets
@@ -121,6 +136,11 @@ class Network:
                     nic.engine_latency_s,
                     name=f"n{node}-rx-engine",
                 )
+        if tracer is not None:
+            for engine in (*self._tx_engines.values(), *self._rx_engines.values()):
+                engine.attach_tracer(tracer, kind="engine")
+            for link in getattr(topology, "all_links", lambda: [])():
+                link.attach_tracer(tracer)
         self.total_wire_bytes = 0
         self.messages_sent = 0
 
@@ -172,6 +192,29 @@ class Network:
         )
         self.total_wire_bytes += wire_total
         self.messages_sent += 1
+        tracer = self.tracer
+        msg_id = self.messages_sent
+        if tracer is not None:
+            for link in route.links:
+                if link.tracer is None:
+                    link.attach_tracer(tracer)
+            tracer.instant(
+                "msg.send",
+                cat=CAT_MESSAGE,
+                ts=self.sim.now,
+                node=src,
+                msg=msg_id,
+                dst=dst,
+                nbytes=nbytes,
+                wire_nbytes=wire_total,
+                tos=tos,
+                packets=num_packets,
+                compressed=compress,
+            )
+            tracer.metrics.counter("messages_sent").inc()
+            tracer.metrics.counter("wire_bytes", tos=f"{tos:#04x}").inc(
+                wire_total
+            )
 
         trains = list(self._split_trains(num_packets, wire_payload, nbytes))
         procs = [
@@ -184,6 +227,27 @@ class Network:
 
         def finish(_: Event) -> None:
             receipt.delivered_at = self.sim.now
+            if tracer is not None:
+                tracer.instant(
+                    "msg.deliver",
+                    cat=CAT_MESSAGE,
+                    ts=self.sim.now,
+                    node=dst,
+                    msg=msg_id,
+                    src=src,
+                )
+                tracer.span(
+                    "msg.flight",
+                    cat=CAT_MESSAGE,
+                    ts=receipt.sent_at,
+                    dur=self.sim.now - receipt.sent_at,
+                    node=src,
+                    msg=msg_id,
+                    dst=dst,
+                    nbytes=nbytes,
+                    wire_nbytes=wire_total,
+                )
+                tracer.metrics.counter("messages_delivered").inc()
             done.succeed((payload, receipt))
 
         self.sim.all_of(procs).add_callback(finish)
@@ -267,6 +331,16 @@ class Network:
             if not dropped:
                 return
             self.trains_retransmitted += 1
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "train.retransmit",
+                    cat=CAT_MESSAGE,
+                    ts=self.sim.now,
+                    node=src,
+                    dst=dst,
+                    attempt=attempts,
+                )
+                self.tracer.metrics.counter("trains_retransmitted").inc()
             limit = self.retransmit.max_attempts
             if limit is not None and attempts >= limit:
                 raise DeliveryFailure(

@@ -1,0 +1,92 @@
+"""Trace serialization: versioned JSON document and Chrome trace format.
+
+``trace_document`` freezes a :class:`~repro.obs.tracer.Tracer` into the
+version-1 JSON contract (:mod:`repro.obs.schema`); ``to_chrome`` maps
+the same events onto the ``chrome://tracing`` / Perfetto "trace event
+format" so traces open directly in a browser timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .schema import TRACE_SCHEMA_NAME, TRACE_SCHEMA_VERSION, validate_trace
+from .tracer import PH_SPAN, Tracer
+
+_PathLike = Union[str, Path]
+
+
+def trace_document(
+    tracer: Tracer, meta: Optional[Dict[str, object]] = None
+) -> Dict[str, object]:
+    """Freeze the tracer's events + metrics into a version-1 document."""
+    return {
+        "schema": TRACE_SCHEMA_NAME,
+        "version": TRACE_SCHEMA_VERSION,
+        "meta": dict(meta or {}),
+        "clock": {"unit": "s", "domain": "simulated"},
+        "events": [event.to_dict() for event in tracer.events],
+        "metrics": tracer.metrics.snapshot(),
+    }
+
+
+def write_trace(
+    tracer: Tracer,
+    path: _PathLike,
+    meta: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Validate and write the trace document; returns the document."""
+    doc = validate_trace(trace_document(tracer, meta))
+    Path(path).write_text(json.dumps(doc, indent=1) + "\n", encoding="utf-8")
+    return doc
+
+
+def load_trace(path: _PathLike) -> Dict[str, object]:
+    """Read and validate a trace document from disk."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    return validate_trace(doc)
+
+
+def to_chrome(doc: Dict[str, object]) -> Dict[str, object]:
+    """Convert a validated trace document to Chrome trace-event JSON.
+
+    Simulated seconds become microseconds (Chrome's unit); the node id
+    maps to ``tid`` so each node gets its own timeline row, and the
+    category to ``pid`` labelling via metadata events is avoided for
+    simplicity — categories remain filterable via ``cat``.
+    """
+    events: List[Dict[str, object]] = []
+    for event in doc["events"]:  # type: ignore[union-attr,index]
+        ph = event["ph"]
+        out: Dict[str, object] = {
+            "name": event["name"],
+            "cat": event["cat"],
+            "ph": ph,
+            "ts": float(event["ts"]) * 1e6,
+            "pid": 0,
+            "tid": event.get("node", 0),
+        }
+        if ph == PH_SPAN:
+            out["dur"] = float(event.get("dur", 0.0)) * 1e6
+        else:
+            out["s"] = "t"  # thread-scoped instant
+        if "args" in event:
+            out["args"] = event["args"]
+        events.append(out)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": doc.get("schema"),  # type: ignore[union-attr]
+            "version": doc.get("version"),  # type: ignore[union-attr]
+            "meta": doc.get("meta", {}),  # type: ignore[union-attr]
+        },
+    }
+
+
+def write_chrome(doc: Dict[str, object], path: _PathLike) -> None:
+    """Write the Chrome-format conversion of a validated document."""
+    chrome = to_chrome(doc)
+    Path(path).write_text(json.dumps(chrome) + "\n", encoding="utf-8")

@@ -1,0 +1,166 @@
+"""Counters, gauges and histograms for the simulated stack.
+
+A :class:`Metrics` registry hands out named, labelled instruments:
+
+* :class:`Counter` — monotonically increasing totals (wire bytes by
+  ToS/codec, messages sent, trains retransmitted);
+* :class:`Gauge` — last-written values with a running max (engine queue
+  depth);
+* :class:`Histogram` — fixed-bucket distributions (tag classes, queue
+  waits).
+
+Everything is plain Python dict/float state: no background threads, no
+wall clocks, no third-party dependencies.  ``snapshot()`` returns a
+JSON-friendly dict that travels inside the trace document.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: A registry key: instrument name plus sorted label pairs.
+_Key = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+#: Default histogram bucket upper bounds (values above fall in +Inf).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-9,
+    1e-6,
+    1e-3,
+    1.0,
+    1e3,
+    1e6,
+    1e9,
+)
+
+
+def _key(name: str, labels: Dict[str, object]) -> _Key:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+
+class Gauge:
+    """A last-written value that remembers its maximum."""
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.max_value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+
+class Histogram:
+    """Fixed-bucket distribution with count/sum/min/max."""
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histograms need at least one bucket bound")
+        self.bounds = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)  # + overflow
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_right(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class Metrics:
+    """Registry of labelled instruments.
+
+    ``counter/gauge/histogram`` return the existing instrument for a
+    (name, labels) pair or create it — call sites never pre-register.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[_Key, Counter] = {}
+        self._gauges: Dict[_Key, Gauge] = {}
+        self._histograms: Dict[_Key, Histogram] = {}
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = _key(name, labels)
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = self._counters[key] = Counter()
+        return inst
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = _key(name, labels)
+        inst = self._gauges.get(key)
+        if inst is None:
+            inst = self._gauges[key] = Gauge()
+        return inst
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        **labels: object,
+    ) -> Histogram:
+        key = _key(name, labels)
+        inst = self._histograms.get(key)
+        if inst is None:
+            inst = self._histograms[key] = Histogram(buckets)
+        return inst
+
+    # -- export -------------------------------------------------------------
+
+    @staticmethod
+    def _label_str(key: _Key) -> str:
+        name, labels = key
+        if not labels:
+            return name
+        rendered = ",".join(f"{k}={v}" for k, v in labels)
+        return f"{name}{{{rendered}}}"
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-friendly dump of every instrument's current state."""
+        counters = {
+            self._label_str(k): c.value for k, c in sorted(self._counters.items())
+        }
+        gauges = {
+            self._label_str(k): {"value": g.value, "max": g.max_value}
+            for k, g in sorted(self._gauges.items())
+        }
+        histograms = {
+            self._label_str(k): {
+                "bounds": list(h.bounds),
+                "counts": list(h.counts),
+                "count": h.count,
+                "sum": h.total,
+                "min": h.min,
+                "max": h.max,
+            }
+            for k, h in sorted(self._histograms.items())
+        }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }

@@ -1,0 +1,150 @@
+"""Versioned trace-file schema and a dependency-free validator.
+
+The trace document is versioned (``schema``/``version`` header) so
+downstream tooling can evolve without guessing.  :data:`TRACE_SCHEMA`
+is a JSON-Schema-style description of version 1 — published for
+external validators — while :func:`validate_trace` enforces the same
+contract with zero dependencies (CI runs it on every traced exchange).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+TRACE_SCHEMA_NAME = "repro.trace"
+TRACE_SCHEMA_VERSION = 1
+
+_VALID_PH = ("X", "i")
+
+#: JSON-Schema (draft-07 flavoured) description of trace version 1.
+TRACE_SCHEMA: Dict[str, object] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": f"{TRACE_SCHEMA_NAME} v{TRACE_SCHEMA_VERSION}",
+    "type": "object",
+    "required": ["schema", "version", "clock", "events", "metrics"],
+    "properties": {
+        "schema": {"const": TRACE_SCHEMA_NAME},
+        "version": {"const": TRACE_SCHEMA_VERSION},
+        "meta": {"type": "object"},
+        "clock": {
+            "type": "object",
+            "required": ["unit", "domain"],
+            "properties": {
+                "unit": {"const": "s"},
+                "domain": {"const": "simulated"},
+            },
+        },
+        "events": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "cat", "ph", "ts"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "cat": {"type": "string"},
+                    "ph": {"enum": list(_VALID_PH)},
+                    "ts": {"type": "number", "minimum": 0},
+                    "dur": {"type": "number", "minimum": 0},
+                    "node": {"type": "integer"},
+                    "args": {"type": "object"},
+                },
+            },
+        },
+        "metrics": {
+            "type": "object",
+            "required": ["counters", "gauges", "histograms"],
+            "properties": {
+                "counters": {"type": "object"},
+                "gauges": {"type": "object"},
+                "histograms": {"type": "object"},
+            },
+        },
+    },
+}
+
+
+def _fail(path: str, message: str) -> None:
+    raise ValueError(f"invalid trace at {path}: {message}")
+
+
+def _require(doc: Dict[str, object], key: str, path: str) -> object:
+    if key not in doc:
+        _fail(path, f"missing required key {key!r}")
+    return doc[key]
+
+
+def _check_number(value: object, path: str, minimum: float = 0.0) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        _fail(path, f"expected a number, got {type(value).__name__}")
+    if value < minimum:  # type: ignore[operator]
+        _fail(path, f"must be >= {minimum}, got {value!r}")
+
+
+def _check_event(event: object, path: str) -> None:
+    if not isinstance(event, dict):
+        _fail(path, f"expected an object, got {type(event).__name__}")
+        return
+    name = _require(event, "name", path)
+    if not isinstance(name, str) or not name:
+        _fail(f"{path}.name", "must be a non-empty string")
+    cat = _require(event, "cat", path)
+    if not isinstance(cat, str) or not cat:
+        _fail(f"{path}.cat", "must be a non-empty string")
+    ph = _require(event, "ph", path)
+    if ph not in _VALID_PH:
+        _fail(f"{path}.ph", f"must be one of {_VALID_PH}, got {ph!r}")
+    _check_number(_require(event, "ts", path), f"{path}.ts")
+    if ph == "X":
+        _check_number(_require(event, "dur", path), f"{path}.dur")
+    elif "dur" in event:
+        _fail(f"{path}.dur", "instant events must not carry a duration")
+    if "node" in event and (
+        isinstance(event["node"], bool) or not isinstance(event["node"], int)
+    ):
+        _fail(f"{path}.node", "must be an integer")
+    if "args" in event and not isinstance(event["args"], dict):
+        _fail(f"{path}.args", "must be an object")
+
+
+def validate_trace(doc: object) -> Dict[str, object]:
+    """Validate a trace document against the version-1 contract.
+
+    Returns the document on success; raises :class:`ValueError` naming
+    the offending path otherwise.  Dependency-free by design — this is
+    the validator CI and ``repro trace validate`` run.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError(
+            f"invalid trace: expected an object, got {type(doc).__name__}"
+        )
+    schema = _require(doc, "schema", "$")
+    if schema != TRACE_SCHEMA_NAME:
+        _fail("$.schema", f"expected {TRACE_SCHEMA_NAME!r}, got {schema!r}")
+    version = _require(doc, "version", "$")
+    if version != TRACE_SCHEMA_VERSION:
+        _fail(
+            "$.version",
+            f"expected {TRACE_SCHEMA_VERSION}, got {version!r}",
+        )
+    clock = _require(doc, "clock", "$")
+    if not isinstance(clock, dict):
+        _fail("$.clock", "must be an object")
+    if clock.get("unit") != "s":  # type: ignore[union-attr]
+        _fail("$.clock.unit", "must be 's' (simulated seconds)")
+    if clock.get("domain") != "simulated":  # type: ignore[union-attr]
+        _fail("$.clock.domain", "must be 'simulated'")
+    if "meta" in doc and not isinstance(doc["meta"], dict):
+        _fail("$.meta", "must be an object")
+    events = _require(doc, "events", "$")
+    if not isinstance(events, list):
+        _fail("$.events", "must be an array")
+    for index, event in enumerate(events):  # type: ignore[arg-type]
+        _check_event(event, f"$.events[{index}]")
+    metrics = _require(doc, "metrics", "$")
+    if not isinstance(metrics, dict):
+        _fail("$.metrics", "must be an object")
+    for section in ("counters", "gauges", "histograms"):
+        part = _require(metrics, section, "$.metrics")  # type: ignore[arg-type]
+        if not isinstance(part, dict):
+            _fail(f"$.metrics.{section}", "must be an object")
+    return doc  # type: ignore[return-value]

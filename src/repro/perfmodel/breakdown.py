@@ -9,9 +9,10 @@ Communicate row is *simulated* and validated against the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.dnn.models import PAPER_MODELS
+from repro.obs import Tracer
 
 from .calibration import TABLE2, TABLE2_ITERATIONS, compute_profile_for
 from .exchange import simulate_wa_exchange
@@ -58,10 +59,20 @@ def simulated_breakdown(
     num_workers: int = 4,
     iterations: int = TABLE2_ITERATIONS,
     bandwidth_bps: float = 10e9,
+    tracer: Optional[Tracer] = None,
 ) -> Breakdown:
-    """Regenerate one Table II column on the simulated cluster."""
+    """Regenerate one Table II column on the simulated cluster.
+
+    The breakdown is read back from the recorded ``phase`` spans (one
+    span per phase occurrence, emitted at the simulation sites), not
+    from a parallel set of accumulators — the trace is the single
+    source of the attribution.  Pass a ``tracer`` to also capture the
+    run's message/link/codec events; otherwise a private one is used.
+    """
     spec = PAPER_MODELS[model_name]
     profile = compute_profile_for(model_name)
+    if tracer is None:
+        tracer = Tracer()
     result = simulate_wa_exchange(
         num_workers=num_workers,
         nbytes=spec.nbytes,
@@ -69,15 +80,17 @@ def simulated_breakdown(
         bandwidth_bps=bandwidth_bps,
         profile=profile,
         include_local_compute=True,
+        tracer=tracer,
     )
     # Exchange simulation interleaves compute/sum/update with transfers;
-    # attribute the calibrated compute phases directly and leave the
-    # residual as Communicate (the paper harness's accounting).
-    forward = profile.forward_s * iterations
-    backward = profile.backward_s * iterations
-    gpu_copy = profile.gpu_copy_s * iterations
-    update = result.update_s
-    gradient_sum = result.gradient_sum_s
+    # the attributed phases come from the recorded spans and the
+    # residual is Communicate (the paper harness's accounting).
+    totals = tracer.phase_totals()
+    forward = totals.get("forward", 0.0)
+    backward = totals.get("backward", 0.0)
+    gpu_copy = totals.get("gpu_copy", 0.0)
+    update = totals.get("update", 0.0)
+    gradient_sum = totals.get("gradient_sum", 0.0)
     communicate = max(
         0.0,
         result.total_s - forward - backward - gpu_copy - update - gradient_sum,

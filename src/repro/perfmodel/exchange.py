@@ -21,9 +21,14 @@ from repro.core import (
     inceptionn_profile,
 )
 from repro.core.bounds import DEFAULT_BOUND
-from repro.distributed.node import ComputeProfile, ZERO_COMPUTE
+from repro.distributed.node import (
+    ComputeProfile,
+    ZERO_COMPUTE,
+    record_compute_phases,
+)
 from repro.distributed.ring import ring_exchange_sizes
 from repro.dnn.models import ModelSpec
+from repro.obs import CAT_PHASE, Tracer
 from repro.transport.endpoint import ClusterComm, ClusterConfig
 
 #: Sample size for measuring a model's compression ratio; large enough
@@ -97,6 +102,7 @@ def _make_comm(
     bound: ErrorBound,
     train_packets: int,
     stream: Optional[StreamProfile] = None,
+    tracer: Optional[Tracer] = None,
 ) -> ClusterComm:
     return ClusterComm(
         ClusterConfig(
@@ -105,7 +111,8 @@ def _make_comm(
             bound=bound,
             train_packets=train_packets,
             profile=stream,
-        )
+        ),
+        tracer=tracer,
     )
 
 
@@ -121,6 +128,7 @@ def simulate_wa_exchange(
     bound: ErrorBound = DEFAULT_BOUND,
     include_local_compute: bool = False,
     train_packets: int = 4400,
+    tracer: Optional[Tracer] = None,
 ) -> ExchangeResult:
     """Worker-aggregator iterations: gather g up, sum, update, scatter w.
 
@@ -144,6 +152,7 @@ def simulate_wa_exchange(
         bound,
         train_packets,
         stream,
+        tracer,
     )
     if explicit_stream is not None and gradient_ratio is None:
         gradient_ratio = measure_profile_ratio(explicit_stream)
@@ -153,7 +162,10 @@ def simulate_wa_exchange(
         ep = comm.endpoints[i]
         for _ in range(iterations):
             if include_local_compute and profile.local_compute_s:
+                compute_start = comm.sim.now
                 yield comm.sim.timeout(profile.local_compute_s)
+                if tracer is not None and i == 0:
+                    record_compute_phases(tracer, profile, compute_start, i)
             ep.isend_sized(
                 aggregator,
                 nbytes,
@@ -171,10 +183,28 @@ def simulate_wa_exchange(
                     dt = profile.sum_time(nbytes)
                     sums["sum_s"] += dt
                     if dt:
+                        sum_start = comm.sim.now
                         yield comm.sim.timeout(dt)
+                        if tracer is not None:
+                            tracer.span(
+                                "gradient_sum",
+                                cat=CAT_PHASE,
+                                ts=sum_start,
+                                dur=dt,
+                                node=aggregator,
+                            )
             if profile.update_s:
                 sums["update_s"] += profile.update_s
+                update_start = comm.sim.now
                 yield comm.sim.timeout(profile.update_s)
+                if tracer is not None:
+                    tracer.span(
+                        "update",
+                        cat=CAT_PHASE,
+                        ts=update_start,
+                        dur=profile.update_s,
+                        node=aggregator,
+                    )
             events = [
                 ep.isend_sized(dst, nbytes) for dst in range(num_workers)
             ]
@@ -207,6 +237,7 @@ def simulate_ring_exchange(
     bound: ErrorBound = DEFAULT_BOUND,
     include_local_compute: bool = False,
     train_packets: int = 4400,
+    tracer: Optional[Tracer] = None,
 ) -> ExchangeResult:
     """Ring iterations at paper scale (every hop on the gradient stream).
 
@@ -224,6 +255,7 @@ def simulate_ring_exchange(
         bound,
         train_packets,
         stream,
+        tracer,
     )
     if explicit_stream is not None and gradient_ratio is None:
         gradient_ratio = measure_profile_ratio(explicit_stream)
@@ -236,7 +268,10 @@ def simulate_ring_exchange(
         successor, predecessor = (i + 1) % n, (i - 1) % n
         for _ in range(iterations):
             if include_local_compute and profile.local_compute_s:
+                compute_start = comm.sim.now
                 yield comm.sim.timeout(profile.local_compute_s)
+                if tracer is not None and i == 0:
+                    record_compute_phases(tracer, profile, compute_start, i)
             for step in range(1, 2 * n - 1):
                 send_idx = (i - step + 1) % n
                 recv_idx = (i - step) % n
@@ -252,11 +287,29 @@ def simulate_ring_exchange(
                     if i == 0:
                         sums["sum_s"] += dt
                     if dt:
+                        sum_start = comm.sim.now
                         yield comm.sim.timeout(dt)
+                        if tracer is not None and i == 0:
+                            tracer.span(
+                                "gradient_sum",
+                                cat=CAT_PHASE,
+                                ts=sum_start,
+                                dur=dt,
+                                node=i,
+                            )
             if profile.update_s:
                 if i == 0:
                     sums["update_s"] += profile.update_s
+                update_start = comm.sim.now
                 yield comm.sim.timeout(profile.update_s)
+                if tracer is not None and i == 0:
+                    tracer.span(
+                        "update",
+                        cat=CAT_PHASE,
+                        ts=update_start,
+                        dur=profile.update_s,
+                        node=i,
+                    )
 
     for i in range(num_workers):
         comm.sim.process(worker(i))

@@ -35,6 +35,7 @@ from repro.network import (
     TOS_DEFAULT,
 )
 from repro.network.topology import DEFAULT_BANDWIDTH_BPS
+from repro.obs import CAT_CODEC, Tracer
 
 
 @dataclass
@@ -94,8 +95,11 @@ class ClusterConfig:
 class ClusterComm:
     """A simulated cluster's communication fabric with one endpoint per node."""
 
-    def __init__(self, config: ClusterConfig) -> None:
+    def __init__(
+        self, config: ClusterConfig, tracer: Optional[Tracer] = None
+    ) -> None:
         self.config = config
+        self.tracer = tracer
         self.default_profile = config.default_profile()
         self.sim = Simulation()
         self.topology = SwitchedStar(
@@ -118,6 +122,7 @@ class ClusterComm:
             mss=config.mss,
             train_packets=config.train_packets,
             nics={node: nic for node in range(config.num_nodes)},
+            tracer=tracer,
         )
         self.endpoints: List[Endpoint] = [
             Endpoint(self, node) for node in range(config.num_nodes)
@@ -197,6 +202,34 @@ class Endpoint:
             return self.comm.default_profile
         return RAW_STREAM
 
+    def _trace_codec(
+        self,
+        tracer: Tracer,
+        codec: Optional[str],
+        nbytes: int,
+        compressed_nbytes: int,
+        estimated: bool,
+    ) -> None:
+        """Record one compress call and its achieved (or assumed) ratio."""
+        ratio = nbytes / compressed_nbytes if compressed_nbytes else float("inf")
+        tracer.instant(
+            "codec.compress",
+            cat=CAT_CODEC,
+            ts=self.comm.sim.now,
+            node=self.node_id,
+            codec=codec,
+            nbytes=nbytes,
+            compressed_nbytes=compressed_nbytes,
+            ratio=ratio,
+            estimated=estimated,
+        )
+        metrics = tracer.metrics
+        metrics.counter("codec_bytes_in", codec=codec).inc(nbytes)
+        metrics.counter("codec_bytes_out", codec=codec).inc(compressed_nbytes)
+        metrics.histogram(
+            "codec_ratio", buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0), codec=codec
+        ).observe(ratio)
+
     def isend(
         self,
         dst: int,
@@ -226,6 +259,11 @@ class Endpoint:
             wire_payload = compressed_nbytes
             deliver = result.values.reshape(arr.shape)
             codec_name = stream.codec
+            tracer = self.comm.tracer
+            if tracer is not None:
+                self._trace_codec(
+                    tracer, codec_name, arr.nbytes, compressed_nbytes, False
+                )
         self.comm.transfers.append(
             TransferLog(
                 src=self.node_id,
@@ -269,6 +307,13 @@ class Endpoint:
         """
         if nbytes < 0:
             raise ValueError("nbytes cannot be negative")
+        # Validate the ratio up front: 0.0 is an error, not "unset"
+        # (a falsy check here once silently sent uncompressed sizes).
+        if compression_ratio is not None and compression_ratio < 1.0:
+            raise ValueError(
+                "compression ratio must be >= 1 "
+                f"(got {compression_ratio!r}); pass None for uncompressed"
+            )
         stream = self._resolve_profile(profile, compressible)
         tos = TOS_DEFAULT
         compressed_nbytes = None
@@ -276,12 +321,15 @@ class Endpoint:
         codec_name = None
         if stream.compressing and self.comm.compression_active():
             tos = stream.resolved_tos
-            ratio = compression_ratio if compression_ratio else 1.0
-            if ratio < 1.0:
-                raise ValueError("compression ratio cannot be below 1")
+            ratio = 1.0 if compression_ratio is None else compression_ratio
             compressed_nbytes = int(round(nbytes / ratio))
             wire_payload = compressed_nbytes
             codec_name = stream.codec
+            tracer = self.comm.tracer
+            if tracer is not None:
+                self._trace_codec(
+                    tracer, codec_name, nbytes, compressed_nbytes, True
+                )
         self.comm.transfers.append(
             TransferLog(
                 src=self.node_id,

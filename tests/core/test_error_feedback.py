@@ -94,3 +94,30 @@ def test_feedback_improves_training_fidelity():
     plain_err = np.abs(plain_sum - true_sum).mean()
     ef_err = np.abs(ef_sum - true_sum).mean()
     assert ef_err < plain_err
+
+
+def test_shape_change_warns_and_resets_residual():
+    bound = ErrorBound(6)
+    ef = ErrorFeedbackCompressor(bound)
+    ef.compress(_grads(n=5000, seed=2))
+    assert ef.residual_norm > 0
+    shorter = _grads(n=1000, seed=3)
+    with pytest.warns(RuntimeWarning, match="gradient length changed"):
+        _, recon = ef.compress(shorter)
+    # The stale residual was dropped, not mixed in: the first call at
+    # the new length behaves exactly like a fresh compressor.
+    np.testing.assert_array_equal(recon, roundtrip(shorter, bound))
+    # And the residual now tracks the *new* shape going forward.
+    assert ef._residual is not None
+    assert ef._residual.shape == shorter.shape
+
+
+def test_same_shape_never_warns():
+    import warnings
+
+    ef = ErrorFeedbackCompressor(ErrorBound(6))
+    grads = _grads(n=2000, seed=4)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        ef.compress(grads)
+        ef.compress(grads)

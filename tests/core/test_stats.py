@@ -106,3 +106,18 @@ def test_value_histogram_normalized():
     assert freqs.sum() == pytest.approx(1.0)
     assert len(edges) == 52
     assert edges[0] == -1.0 and edges[-1] == 1.0
+
+
+def test_compression_ratio_rejects_empty():
+    # Must agree with bitwidth_distribution: both raise on zero values
+    # (compression_ratio used to return a quiet 1.0 here).
+    with pytest.raises(ValueError):
+        compression_ratio(np.array([], dtype=np.float32), BOUND)
+
+
+def test_empty_vector_raises_consistently():
+    empty = np.array([], dtype=np.float32)
+    with pytest.raises(ValueError):
+        bitwidth_distribution(empty, BOUND)
+    with pytest.raises(ValueError):
+        compression_ratio(empty, BOUND)

@@ -1,0 +1,64 @@
+"""Metrics registry: counters, gauges, histograms, snapshots."""
+
+import pytest
+
+from repro.obs import Metrics
+
+
+def test_counter_accumulates_and_is_keyed_by_labels():
+    metrics = Metrics()
+    metrics.counter("wire_bytes", tos="0x28").inc(10)
+    metrics.counter("wire_bytes", tos="0x28").inc(5)
+    metrics.counter("wire_bytes", tos="0x00").inc(1)
+    snap = metrics.snapshot()["counters"]
+    assert snap["wire_bytes{tos=0x28}"] == 15
+    assert snap["wire_bytes{tos=0x00}"] == 1
+
+
+def test_counter_rejects_negative_increment():
+    metrics = Metrics()
+    with pytest.raises(ValueError):
+        metrics.counter("c").inc(-1)
+
+
+def test_gauge_tracks_current_and_max():
+    metrics = Metrics()
+    gauge = metrics.gauge("queue_depth")
+    gauge.set(3)
+    gauge.set(7)
+    gauge.set(2)
+    assert gauge.value == 2
+    assert gauge.max_value == 7
+
+
+def test_histogram_buckets_and_stats():
+    metrics = Metrics()
+    hist = metrics.histogram("wait_s", buckets=(1.0, 10.0))
+    for value in (0.5, 2.0, 5.0, 100.0):
+        hist.observe(value)
+    assert hist.count == 4
+    assert hist.total == pytest.approx(107.5)
+    assert hist.min == 0.5
+    assert hist.max == 100.0
+    assert hist.mean == pytest.approx(107.5 / 4)
+    # Bucket counts: <=1.0, <=10.0, overflow.
+    assert hist.counts == [1, 2, 1]
+
+
+def test_histogram_same_name_same_instance():
+    metrics = Metrics()
+    a = metrics.histogram("h", buckets=(1.0,))
+    b = metrics.histogram("h", buckets=(1.0,))
+    assert a is b
+
+
+def test_snapshot_shape_is_json_friendly():
+    import json
+
+    metrics = Metrics()
+    metrics.counter("sent").inc()
+    metrics.gauge("depth").set(4)
+    metrics.histogram("lat", buckets=(1.0,)).observe(0.2)
+    snap = metrics.snapshot()
+    assert set(snap) == {"counters", "gauges", "histograms"}
+    json.dumps(snap)  # must not raise

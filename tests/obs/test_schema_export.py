@@ -1,0 +1,100 @@
+"""Trace document round-trip, schema validation, Chrome conversion."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    CAT_MESSAGE,
+    CAT_PHASE,
+    TRACE_SCHEMA,
+    TRACE_SCHEMA_NAME,
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    load_trace,
+    to_chrome,
+    trace_document,
+    validate_trace,
+    write_chrome,
+    write_trace,
+)
+
+
+def _tracer():
+    tracer = Tracer()
+    tracer.instant("msg.send", cat=CAT_MESSAGE, ts=0.0, node=0, msg=1)
+    tracer.span("forward", cat=CAT_PHASE, ts=0.0, dur=0.5, node=0)
+    tracer.metrics.counter("messages_sent").inc()
+    return tracer
+
+
+def test_document_is_versioned_and_valid():
+    doc = trace_document(_tracer(), meta={"command": "test"})
+    assert doc["schema"] == TRACE_SCHEMA_NAME
+    assert doc["version"] == TRACE_SCHEMA_VERSION
+    assert doc["clock"] == {"unit": "s", "domain": "simulated"}
+    assert validate_trace(doc) is doc
+
+
+def test_write_and_load_round_trip(tmp_path):
+    path = tmp_path / "trace.json"
+    written = write_trace(_tracer(), path, meta={"k": "v"})
+    loaded = load_trace(path)
+    assert loaded == json.loads(json.dumps(written))
+    assert loaded["meta"] == {"k": "v"}
+    assert len(loaded["events"]) == 2
+
+
+def test_validator_rejects_wrong_version():
+    doc = trace_document(_tracer())
+    doc["version"] = 99
+    with pytest.raises(ValueError, match=r"\$\.version"):
+        validate_trace(doc)
+
+
+def test_validator_rejects_span_without_duration():
+    doc = trace_document(_tracer())
+    del doc["events"][1]["dur"]
+    with pytest.raises(ValueError, match=r"\$\.events\[1\]"):
+        validate_trace(doc)
+
+
+def test_validator_rejects_instant_with_duration():
+    doc = trace_document(_tracer())
+    doc["events"][0]["dur"] = 1.0
+    with pytest.raises(ValueError, match="must not carry a duration"):
+        validate_trace(doc)
+
+
+def test_validator_rejects_negative_timestamp():
+    doc = trace_document(_tracer())
+    doc["events"][0]["ts"] = -1.0
+    with pytest.raises(ValueError, match=r"\$\.events\[0\]\.ts"):
+        validate_trace(doc)
+
+
+def test_validator_rejects_missing_metrics_section():
+    doc = trace_document(_tracer())
+    del doc["metrics"]["gauges"]
+    with pytest.raises(ValueError, match=r"\$\.metrics"):
+        validate_trace(doc)
+
+
+def test_chrome_conversion_units_and_shape(tmp_path):
+    doc = trace_document(_tracer())
+    chrome = to_chrome(doc)
+    events = chrome["traceEvents"]
+    assert len(events) == 2
+    instant, span = events
+    assert instant["ph"] == "i" and instant["s"] == "t"
+    assert span["ph"] == "X"
+    assert span["ts"] == 0.0 and span["dur"] == pytest.approx(0.5e6)
+    assert span["tid"] == 0 and span["pid"] == 0
+    path = tmp_path / "chrome.json"
+    write_chrome(doc, path)
+    assert json.loads(path.read_text())["traceEvents"] == events
+
+
+def test_published_schema_mentions_required_sections():
+    required = TRACE_SCHEMA["required"]
+    assert set(required) >= {"schema", "version", "clock", "events", "metrics"}

@@ -1,0 +1,117 @@
+"""Trace-driven Table II breakdown: parity with the inline accounting."""
+
+import pytest
+
+from repro.distributed.node import ComputeProfile
+from repro.obs import CAT_PHASE, Tracer
+from repro.perfmodel import (
+    compute_profile_for,
+    simulate_ring_exchange,
+    simulate_wa_exchange,
+    simulated_breakdown,
+)
+
+MB = 2**20
+
+PROFILE = ComputeProfile(
+    forward_s=0.01,
+    backward_s=0.05,
+    gpu_copy_s=0.002,
+    update_s=0.02,
+    sum_bandwidth_bps=10.4e9,
+)
+
+
+@pytest.mark.parametrize("simulate", [simulate_wa_exchange, simulate_ring_exchange])
+def test_tracer_does_not_change_timing(simulate):
+    kwargs = dict(
+        num_workers=4,
+        nbytes=8 * MB,
+        iterations=2,
+        profile=PROFILE,
+        include_local_compute=True,
+    )
+    untraced = simulate(**kwargs)
+    tracer = Tracer()
+    traced = simulate(tracer=tracer, **kwargs)
+    assert traced.total_s == untraced.total_s
+    assert traced.gradient_sum_s == untraced.gradient_sum_s
+    assert traced.update_s == untraced.update_s
+    assert len(tracer) > 0
+
+
+@pytest.mark.parametrize("simulate", [simulate_wa_exchange, simulate_ring_exchange])
+def test_phase_spans_reproduce_inline_sums(simulate):
+    tracer = Tracer()
+    iterations = 3
+    result = simulate(
+        num_workers=4,
+        nbytes=8 * MB,
+        iterations=iterations,
+        profile=PROFILE,
+        include_local_compute=True,
+        tracer=tracer,
+    )
+    totals = tracer.phase_totals()
+    # The span sums are the same float accumulation as the inline +=,
+    # so this parity is exact, not approximate.
+    assert totals["gradient_sum"] == result.gradient_sum_s
+    assert totals["update"] == result.update_s
+    assert totals["forward"] == pytest.approx(
+        PROFILE.forward_s * iterations, abs=1e-6
+    )
+    assert totals["backward"] == pytest.approx(
+        PROFILE.backward_s * iterations, abs=1e-6
+    )
+    assert totals["gpu_copy"] == pytest.approx(
+        PROFILE.gpu_copy_s * iterations, abs=1e-6
+    )
+
+
+def test_breakdown_from_trace_matches_legacy_arithmetic():
+    # The trace-backed simulated_breakdown must agree with the retired
+    # parallel bookkeeping (profile * iterations + ExchangeResult sums)
+    # to 1e-6 — the acceptance bar for rebuilding report.py on spans.
+    model, iterations = "AlexNet", 2
+    profile = compute_profile_for(model)
+    breakdown = simulated_breakdown(model, iterations=iterations)
+    from repro.dnn.models import PAPER_MODELS
+
+    legacy = simulate_wa_exchange(
+        num_workers=4,
+        nbytes=PAPER_MODELS[model].nbytes,
+        iterations=iterations,
+        profile=profile,
+        include_local_compute=True,
+    )
+    assert breakdown.forward == pytest.approx(
+        profile.forward_s * iterations, abs=1e-6
+    )
+    assert breakdown.backward == pytest.approx(
+        profile.backward_s * iterations, abs=1e-6
+    )
+    assert breakdown.gpu_copy == pytest.approx(
+        profile.gpu_copy_s * iterations, abs=1e-6
+    )
+    assert breakdown.gradient_sum == pytest.approx(
+        legacy.gradient_sum_s, abs=1e-6
+    )
+    assert breakdown.update == pytest.approx(legacy.update_s, abs=1e-6)
+    legacy_communicate = max(
+        0.0,
+        legacy.total_s
+        - profile.forward_s * iterations
+        - profile.backward_s * iterations
+        - profile.gpu_copy_s * iterations
+        - legacy.gradient_sum_s
+        - legacy.update_s,
+    )
+    assert breakdown.communicate == pytest.approx(legacy_communicate, abs=1e-6)
+
+
+def test_breakdown_accepts_external_tracer():
+    tracer = Tracer()
+    breakdown = simulated_breakdown("HDC", iterations=1, tracer=tracer)
+    assert tracer.count(CAT_PHASE) > 0
+    totals = tracer.phase_totals()
+    assert totals.get("forward", 0.0) == breakdown.forward

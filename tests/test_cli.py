@@ -67,3 +67,72 @@ def test_train_smoke(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_exchange_with_trace_writes_valid_file(tmp_path, capsys):
+    from repro.obs import load_trace
+
+    out = tmp_path / "trace.json"
+    chrome = tmp_path / "chrome.json"
+    assert main([
+        "exchange", "--workers", "4", "--iterations", "1",
+        "--mbytes", "1", "--trace", str(out), "--trace-chrome", str(chrome),
+    ]) == 0
+    doc = load_trace(out)  # load_trace validates
+    assert doc["meta"]["command"] == "exchange"
+    assert doc["meta"]["workers"] == 4
+    assert doc["events"]
+    import json
+
+    assert json.loads(chrome.read_text())["traceEvents"]
+
+
+def test_train_with_trace_writes_valid_file(tmp_path, capsys):
+    from repro.obs import load_trace
+
+    out = tmp_path / "trace.json"
+    assert main([
+        "train", "--workers", "4", "--compress", "--iterations", "2",
+        "--trace", str(out),
+    ]) == 0
+    doc = load_trace(out)
+    assert doc["meta"]["command"] == "train"
+    assert doc["meta"]["codec"] == "inceptionn"
+    # Compressed run: every traced message is on the compression ToS.
+    sends = [e for e in doc["events"] if e["name"] == "msg.send"]
+    assert sends and all(e["args"]["compressed"] for e in sends)
+
+
+def test_trace_run_validate_summary_chrome(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main([
+        "trace", "run", str(out), "--workers", "4", "--mbytes", "1",
+        "--compress",
+    ]) == 0
+    assert main(["trace", "validate", str(out)]) == 0
+    assert "valid repro.trace v1" in capsys.readouterr().out
+    assert main(["trace", "summary", str(out)]) == 0
+    summary = capsys.readouterr().out
+    assert "msg.send" in summary and "counters:" in summary
+    chrome = tmp_path / "chrome.json"
+    assert main(["trace", "chrome", str(out), str(chrome)]) == 0
+    import json
+
+    assert json.loads(chrome.read_text())["traceEvents"]
+
+
+def test_trace_validate_rejects_corrupt_file(tmp_path, capsys):
+    import json
+
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": "repro.trace", "version": 1}))
+    assert main(["trace", "validate", str(bad)]) == 1
+    assert "INVALID" in capsys.readouterr().out
+
+
+def test_trace_schema_prints_json(capsys):
+    import json
+
+    assert main(["trace", "schema"]) == 0
+    schema = json.loads(capsys.readouterr().out)
+    assert schema["title"].startswith("repro.trace")
