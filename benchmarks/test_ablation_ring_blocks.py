@@ -26,7 +26,8 @@ def _rotate_full_vector_time(num_workers, nbytes):
             nxt = (i + 1) % num_workers
             prv = (i - 1) % num_workers
             for _ in range(num_workers - 1):
-                comm.endpoints[i].isend_sized(nxt, nbytes)
+                ep = comm.endpoints[i]
+                ep.isend_message(ep.build_message(nxt, nbytes=nbytes))
                 yield comm.endpoints[i].recv(prv)
 
         return proc
@@ -53,7 +54,8 @@ def _blocked_exchange_time(num_workers, nbytes, blocks_per_node):
             nxt = (i + 1) % num_workers
             prv = (i - 1) % num_workers
             for _ in range(steps):
-                comm.endpoints[i].isend_sized(nxt, block_nbytes)
+                ep = comm.endpoints[i]
+                ep.isend_message(ep.build_message(nxt, nbytes=block_nbytes))
                 yield comm.endpoints[i].recv(prv)
 
         return proc

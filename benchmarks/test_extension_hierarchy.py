@@ -44,7 +44,8 @@ def _hier_time(num_nodes, group_size, nbytes):
             nxt = group[(rank + 1) % g]
             prv = group[(rank - 1) % g]
             for _ in range(2 * (g - 1)):
-                comm.endpoints[i].isend_sized(nxt, block)
+                ep = comm.endpoints[i]
+                ep.isend_message(ep.build_message(nxt, nbytes=block))
                 yield comm.endpoints[i].recv(prv)
             # level 2: leader ring + downstream broadcast
             leaders = list(layout.leaders)
@@ -54,10 +55,13 @@ def _hier_time(num_nodes, group_size, nbytes):
                 lnxt = leaders[(li + 1) % len(leaders)]
                 lprv = leaders[(li - 1) % len(leaders)]
                 for _ in range(2 * (len(leaders) - 1)):
-                    comm.endpoints[i].isend_sized(lnxt, lblock)
+                    ep = comm.endpoints[i]
+                    ep.isend_message(ep.build_message(lnxt, nbytes=lblock))
                     yield comm.endpoints[i].recv(lprv)
                 events = [
-                    comm.endpoints[i].isend_sized(member, nbytes)
+                    comm.endpoints[i].isend_message(
+                        comm.endpoints[i].build_message(member, nbytes=nbytes)
+                    )
                     for member in group[1:]
                 ]
                 yield comm.sim.all_of(events)

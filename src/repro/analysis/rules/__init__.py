@@ -16,6 +16,7 @@ from .bits import BitAccountingRule
 from .deprecated import DeprecatedApiRule
 from .dtype import DtypeDisciplineRule
 from .registry_tos import RegistryTosRule
+from .retired import RetiredApiRule
 
 #: Every registered rule class, in code order.
 ALL_RULES: Sequence[Type[Rule]] = (
@@ -24,6 +25,7 @@ ALL_RULES: Sequence[Type[Rule]] = (
     RegistryTosRule,
     BitAccountingRule,
     AnnotationsRule,
+    RetiredApiRule,
 )
 
 
@@ -67,6 +69,7 @@ __all__ = [
     "DeprecatedApiRule",
     "DtypeDisciplineRule",
     "RegistryTosRule",
+    "RetiredApiRule",
     "Rule",
     "default_rules",
     "rules_by_code",

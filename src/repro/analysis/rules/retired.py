@@ -1,0 +1,48 @@
+"""R6 — the pre-WireMessage send API is gone; don't reintroduce it.
+
+PR 5 unified the three send paths into one packet-granular
+:class:`repro.transport.wire.WireMessage` pipeline and *removed* (not
+deprecated) the old sized-send side path.  Unlike R2's shims there is
+nothing left to call — any reappearance is a regression toward the
+split-path design.  Flags:
+
+* any call whose target is named ``isend_sized`` (gone; use
+  ``Endpoint.build_message(..., nbytes=...)`` + ``isend_message``);
+* any call passing a ``compression_ratio=`` keyword (the retired
+  parameter; the builder takes ``ratio=``).
+
+The *function* :func:`repro.core.compression_ratio` is still the
+statistics helper it always was — it takes positional arguments, so
+only the keyword form is banned.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import RuleContext
+from .base import Rule, call_name
+
+
+class RetiredApiRule(Rule):
+    code = "R6"
+    name = "retired-api"
+    description = (
+        "the retired isend_sized/compression_ratio= send API must not "
+        "reappear; build WireMessages via build_message(nbytes=, ratio=)"
+    )
+
+    def visit_Call(self, node: ast.Call, ctx: RuleContext) -> None:
+        if call_name(node) == "isend_sized":
+            ctx.report(
+                node,
+                "isend_sized was retired by the WireMessage pipeline; "
+                "use ep.isend_message(ep.build_message(dst, nbytes=...))",
+            )
+        for kw in node.keywords:
+            if kw.arg == "compression_ratio":
+                ctx.report(
+                    node,
+                    "compression_ratio= was retired with isend_sized; "
+                    "pass ratio= to build_message instead",
+                )

@@ -143,6 +143,25 @@ def _add_trace_arguments(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_loss_arguments(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--loss-rate", type=float, default=0.0, metavar="P",
+        help="per-train drop probability on every link (default lossless)",
+    )
+    p.add_argument(
+        "--retransmit", type=float, default=None, metavar="RTO_US",
+        help="enable sender retransmission with this timeout (microseconds)",
+    )
+
+
+def _retransmit_for(args: argparse.Namespace):
+    from repro.network import RetransmitPolicy
+
+    if args.retransmit is None:
+        return None
+    return RetransmitPolicy(rto_s=args.retransmit * 1e-6)
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     from repro.core import inceptionn_profile
     from repro.distributed import train_distributed
@@ -162,7 +181,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
         num_workers=args.workers,
         iterations=args.iterations,
         batch_size=args.batch_size,
-        cluster=ClusterConfig(num_nodes=num_nodes, profile=stream),
+        cluster=ClusterConfig(
+            num_nodes=num_nodes,
+            profile=stream,
+            loss_rate=args.loss_rate,
+            retransmit=_retransmit_for(args),
+        ),
         stream=stream,
         tracer=tracer,
         seed=args.seed,
@@ -207,6 +231,8 @@ def _cmd_exchange(args: argparse.Namespace) -> int:
         bandwidth_bps=args.gbps * 1e9,
         stream=stream,
         tracer=tracer,
+        loss_rate=args.loss_rate,
+        retransmit=_retransmit_for(args),
     )
     label = f"{args.algorithm}+{args.codec}" if stream else args.algorithm
     print(
@@ -217,6 +243,9 @@ def _cmd_exchange(args: argparse.Namespace) -> int:
         print(f"  measured ratio {measure_profile_ratio(stream):10.2f}x")
     print(f"  per iteration  {result.per_iteration_s * 1e3:10.2f} ms")
     print(f"  total          {result.total_s * 1e3:10.2f} ms")
+    print(f"  wire ratio     {result.wire_ratio:10.2f}x")
+    if args.loss_rate > 0.0:
+        print(f"  retransmitted  {result.trains_retransmitted:10d} trains")
     _write_trace_outputs(
         tracer,
         args,
@@ -412,6 +441,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="registered codec for the gradient stream (see `repro codecs`)",
     )
     p.add_argument("--seed", type=int, default=0)
+    _add_loss_arguments(p)
     _add_trace_arguments(p)
     p.set_defaults(func=_cmd_train)
 
@@ -425,6 +455,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--codec", default=None, metavar="NAME",
         help="registered codec for the gradient stream (see `repro codecs`)",
     )
+    _add_loss_arguments(p)
     _add_trace_arguments(p)
     p.set_defaults(func=_cmd_exchange)
 

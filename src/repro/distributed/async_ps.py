@@ -25,7 +25,11 @@ from repro.obs import CAT_ASYNC, Tracer
 from repro.dnn.network import Sequential
 from repro.dnn.optim import SGD
 from repro.dnn.training import LocalTrainer
-from repro.transport.endpoint import ClusterComm, ClusterConfig
+from repro.transport.endpoint import (
+    ClusterComm,
+    ClusterConfig,
+    TransferSummary,
+)
 
 from .node import ComputeProfile, ZERO_COMPUTE
 
@@ -43,6 +47,8 @@ class AsyncRunResult:
     #: observed for every applied gradient.
     staleness: List[int] = field(default_factory=list)
     losses: List[float] = field(default_factory=list)
+    #: Wire-level accounting from the WireMessage pipeline.
+    transfers: Optional[TransferSummary] = None
 
     @property
     def mean_staleness(self) -> float:
@@ -205,4 +211,5 @@ def train_async_ps(
 
     result.final_top1 = top1_accuracy(logits, dataset.test_y)
     result.final_top5 = top5_accuracy(logits, dataset.test_y)
+    result.transfers = comm.transfer_summary()
     return result

@@ -21,7 +21,11 @@ from repro.dnn.network import Sequential
 from repro.dnn.optim import SGD
 from repro.dnn.training import LocalTrainer
 from repro.obs import CAT_PHASE, Tracer
-from repro.transport.endpoint import ClusterComm, ClusterConfig
+from repro.transport.endpoint import (
+    ClusterComm,
+    ClusterConfig,
+    TransferSummary,
+)
 
 from .node import ComputeProfile, ZERO_COMPUTE, record_compute_phases
 from .ring import ring_exchange
@@ -67,6 +71,9 @@ class DistributedRunResult:
     virtual_time_s: float
     phase_seconds: Dict[str, float]
     eval_top1: List[float] = field(default_factory=list)
+    #: Wire-level accounting folded from the cluster's transfer log
+    #: (every message of the run went through one WireMessage build).
+    transfers: Optional[TransferSummary] = None
 
     @property
     def communication_fraction(self) -> float:
@@ -77,7 +84,11 @@ class DistributedRunResult:
 
     def normalized_phases(self) -> Dict[str, float]:
         """Phase fractions of total time (Table II's 'Norm.' columns)."""
-        total = sum(self.phase_seconds.values()) or 1.0
+        total = sum(self.phase_seconds.values())
+        # Explicit zero check — a falsy ``or`` default here is the same
+        # bug class as the retired sized-send API's zero-ratio collapse.
+        if total == 0.0:
+            return {name: 0.0 for name in self.phase_seconds}
         return {name: t / total for name, t in self.phase_seconds.items()}
 
 
@@ -205,6 +216,7 @@ def train_distributed(
         virtual_time_s=total_time,
         phase_seconds=phase,
         eval_top1=eval_top1,
+        transfers=comm.transfer_summary(),
     )
 
 

@@ -272,4 +272,5 @@ def train_hierarchical(
         final_top5=top5,
         virtual_time_s=total,
         phase_seconds=phase,
+        transfers=comm.transfer_summary(),
     )

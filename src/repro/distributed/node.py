@@ -65,18 +65,35 @@ def record_compute_phases(
             t += dur
 
 
-def partition_blocks(vector: np.ndarray, num_blocks: int) -> List[np.ndarray]:
-    """Algorithm 1 line 8: split ``g`` evenly into N blocks.
+def block_sizes(total: int, num_blocks: int) -> List[int]:
+    """Element counts of Algorithm 1's near-equal contiguous blocks.
 
-    Uses contiguous near-equal splits (sizes differ by at most one), the
-    same layout ``np.array_split`` produces.
+    The single source of truth for reduce-scatter block sizes: the
+    first ``total % num_blocks`` blocks carry one extra element — the
+    same layout ``np.array_split`` produces.  Both the functional
+    :func:`partition_blocks` and the timing-only
+    :func:`repro.distributed.ring.ring_exchange_sizes` derive from it.
     """
     if num_blocks < 1:
         raise ValueError("need at least one block")
+    if total < 0:
+        raise ValueError("total cannot be negative")
+    base, rem = divmod(total, num_blocks)
+    return [base + (1 if b < rem else 0) for b in range(num_blocks)]
+
+
+def partition_blocks(vector: np.ndarray, num_blocks: int) -> List[np.ndarray]:
+    """Algorithm 1 line 8: split ``g`` evenly into N blocks.
+
+    Contiguous splits with the :func:`block_sizes` layout (sizes differ
+    by at most one).
+    """
     flat = np.ascontiguousarray(vector, dtype=np.float32).reshape(-1)
+    sizes = block_sizes(flat.size, num_blocks)
+    offsets = np.cumsum(np.asarray(sizes[:-1], dtype=np.intp))
     return [
         np.array(b, dtype=np.float32, copy=True)
-        for b in np.array_split(flat, num_blocks)
+        for b in np.split(flat, offsets)
     ]
 
 

@@ -24,7 +24,12 @@ from repro.network import Event
 from repro.obs import CAT_RING
 from repro.transport.endpoint import Endpoint
 
-from .node import ComputeProfile, concatenate_blocks, partition_blocks
+from .node import (
+    ComputeProfile,
+    block_sizes,
+    concatenate_blocks,
+    partition_blocks,
+)
 
 
 def ring_exchange(
@@ -84,6 +89,9 @@ def ring_exchange(
 
 
 def ring_exchange_sizes(num_workers: int, vector_size: int) -> "list[int]":
-    """Block element counts of the exchange (for timing-only callers)."""
-    base, rem = divmod(vector_size, num_workers)
-    return [base + (1 if b < rem else 0) for b in range(num_workers)]
+    """Block element counts of the exchange (for timing-only callers).
+
+    Delegates to :func:`repro.distributed.node.block_sizes`, the single
+    source of truth shared with the functional ``partition_blocks``.
+    """
+    return block_sizes(vector_size, num_workers)

@@ -25,7 +25,12 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.core.bounds import ErrorBound
-from repro.network.packet import TOS_COMPRESS, Packet, segment_bytes
+from repro.network.packet import (
+    TOS_COMPRESS,
+    Packet,
+    is_compressible_tos,
+    segment_bytes,
+)
 from repro.obs import CAT_CODEC, Tracer
 
 from .axi import WORDS_PER_BURST
@@ -158,6 +163,47 @@ class InceptionnNic:
             return None
         return self._engines.get(tos)
 
+    def dispatches(self, tos: int) -> bool:
+        """Would the comparator route ``tos`` traffic through an engine?
+
+        Message-granular variant of :meth:`engine_for`, used by the
+        :mod:`repro.transport.wire` builder: any ToS claimed by a
+        registered codec dispatches (the stream's own codec does the
+        byte work there), in addition to locally attached packet
+        engines.  A disabled NIC bypasses everything.
+        """
+        if not self.enabled:
+            return False
+        return tos in self._engines or is_compressible_tos(tos)
+
+    # -- aggregate accounting (WireMessage pipeline) -----------------------------
+
+    def account_tx(
+        self,
+        packets: int,
+        engine_packets: int,
+        payload_bytes_in: int,
+        payload_bytes_out: int,
+    ) -> None:
+        """Tick TX counters for one wire traversal of a packet train.
+
+        Equivalent to running :meth:`process_tx` over every packet, but
+        at message granularity so size-only (paper-scale) sends never
+        walk per-packet objects.  Payload bytes count only the
+        engine-processed stream, matching the per-packet path.
+        """
+        self.counters.tx_packets += packets
+        self.counters.tx_compressed += engine_packets
+        self.counters.tx_bypassed += packets - engine_packets
+        self.counters.tx_payload_bytes_in += payload_bytes_in
+        self.counters.tx_payload_bytes_out += payload_bytes_out
+
+    def account_rx(self, packets: int, engine_packets: int) -> None:
+        """Tick RX counters for one delivered packet train."""
+        self.counters.rx_packets += packets
+        self.counters.rx_decompressed += engine_packets
+        self.counters.rx_bypassed += packets - engine_packets
+
     # -- per-packet datapath -----------------------------------------------------
 
     def _trace_engine_call(
@@ -171,7 +217,15 @@ class InceptionnNic:
         """
         assert self.tracer is not None
         in_nbytes = packet.payload_nbytes
-        ratio = in_nbytes / out_nbytes if out_nbytes else float("inf")
+        # Explicit zero handling: an empty packet compressed to nothing
+        # is ratio 1.0, not infinity (the falsy-check cousin of the
+        # zero-ratio bug fixed in the sized-send path).
+        if out_nbytes:
+            ratio = in_nbytes / out_nbytes
+        elif in_nbytes:
+            ratio = float("inf")
+        else:
+            ratio = 1.0
         self.tracer.instant(
             name,
             cat=CAT_CODEC,

@@ -43,6 +43,8 @@ class Link:
         #: Total time the link spent serializing, for utilization accounting.
         self.busy_time = 0.0
         self._loss = LossyLinkMixin(None)
+        #: Packets inside dropped trains (per-packet loss accounting).
+        self.packets_dropped = 0
         #: Role of this FIFO resource in trace output ("link" or "engine").
         self.kind = "link"
         #: Nullable tracer; ``None`` keeps the hot path allocation-free.
@@ -91,9 +93,17 @@ class Link:
         )
         self._loss = LossyLinkMixin(salted)
 
-    def should_drop(self) -> bool:
-        """Decide (and record) whether the next train is lost here."""
-        return self._loss.should_drop()
+    def should_drop(self, packets: int = 1) -> bool:
+        """Decide (and record) whether the next train is lost here.
+
+        ``packets`` is the train's packet count, recorded so loss
+        statistics are available at the same granularity the WireMessage
+        pipeline uses everywhere else.
+        """
+        dropped = self._loss.should_drop()
+        if dropped:
+            self.packets_dropped += packets
+        return dropped
 
     @property
     def trains_dropped(self) -> int:

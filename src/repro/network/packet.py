@@ -138,3 +138,25 @@ def segment_size(
 def packet_count(nbytes: int, mss: int = DEFAULT_MSS) -> int:
     """Number of packets a message of ``nbytes`` occupies."""
     return max(1, -(-nbytes // mss))
+
+
+def distribute_payload(nbytes: int, num_packets: int) -> List[int]:
+    """Spread ``nbytes`` of payload over ``num_packets`` packets.
+
+    Cumulative rounding: packet ``k`` carries the difference between the
+    rounded ``k``-th and ``(k-1)``-th cumulative shares, so the sizes
+    always sum to ``nbytes`` exactly and differ by at most one byte.
+    Used for the per-packet view of a compressed stream, whose total
+    wire size is measured at message granularity.
+    """
+    if num_packets < 1:
+        raise ValueError("need at least one packet")
+    if nbytes < 0:
+        raise ValueError("nbytes cannot be negative")
+    sizes: List[int] = []
+    prev = 0
+    for k in range(1, num_packets + 1):
+        cur = round(nbytes * k / num_packets)
+        sizes.append(cur - prev)
+        prev = cur
+    return sizes

@@ -22,7 +22,17 @@ hardware integration of Sec. VI-A:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, Iterable, List, Optional
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
 
 from repro.obs import CAT_MESSAGE, Tracer
 
@@ -31,6 +41,13 @@ from .link import Link
 from .loss import DeliveryFailure, LossModel, RetransmitPolicy
 from .packet import HEADER_BYTES, TOS_DEFAULT, is_compressible_tos, packet_count
 from .topology import Route, Topology
+
+if TYPE_CHECKING:
+    from repro.transport.wire import WireMessage
+
+#: Retransmission hook: ``(packets, wire_payload, raw_payload)`` of the
+#: train being resent (payload bytes, headers excluded).
+RetransmitHook = Callable[[int, int, int], None]
 
 #: Engine streaming rate: 256 bits per cycle at 100 MHz.
 ENGINE_THROUGHPUT_BPS = 256 * 100e6 / 8  # bytes/second
@@ -112,6 +129,7 @@ class Network:
             for salt, link in enumerate(links):
                 link.attach_loss(loss, salt)
         self.trains_retransmitted = 0
+        self.packets_retransmitted = 0
         default = NicTimingModel()
         self.nics: Dict[int, NicTimingModel] = {
             node: (nics or {}).get(node, default)
@@ -169,7 +187,6 @@ class Network:
             raise ValueError("nbytes cannot be negative")
         if compressed_nbytes is not None and compressed_nbytes < 0:
             raise ValueError("compressed_nbytes cannot be negative")
-        route = self.topology.route(src, dst)
         compress = (
             is_compressible_tos(tos)
             and self.nics[src].compression
@@ -178,6 +195,56 @@ class Network:
         wire_payload = nbytes
         if compress and compressed_nbytes is not None:
             wire_payload = compressed_nbytes
+        return self._launch(
+            src, dst, nbytes, wire_payload, tos, compress, payload, None
+        )
+
+    def send_wire(
+        self,
+        msg: "WireMessage",
+        on_retransmit: Optional[RetransmitHook] = None,
+    ) -> Event:
+        """Send a built :class:`~repro.transport.wire.WireMessage`.
+
+        The message's wire sizes were produced by the sender NIC's
+        engine dispatch, so they are authoritative; the timing NICs only
+        gate whether the engine pipeline stages are traversed.  Returns
+        an event firing at delivery with value ``(msg, receipt)``.
+        ``on_retransmit`` fires once per resent train with its packet
+        and payload counts — the hook that lets functional NIC counters
+        see every wire traversal.
+        """
+        compress = (
+            msg.compressed
+            and self.nics[msg.src].compression
+            and self.nics[msg.dst].compression
+        )
+        return self._launch(
+            msg.src,
+            msg.dst,
+            msg.nbytes,
+            msg.wire_payload_nbytes,
+            msg.tos,
+            compress,
+            msg,
+            on_retransmit,
+        )
+
+    # -- internals --------------------------------------------------------------
+
+    def _launch(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        wire_payload: int,
+        tos: int,
+        compress: bool,
+        payload: object,
+        on_retransmit: Optional[RetransmitHook],
+    ) -> Event:
+        """Common send path: trace, segment into trains, spawn processes."""
+        route = self.topology.route(src, dst)
         num_packets = packet_count(nbytes, self.mss)
         wire_total = num_packets * HEADER_BYTES + wire_payload
 
@@ -219,9 +286,11 @@ class Network:
         trains = list(self._split_trains(num_packets, wire_payload, nbytes))
         procs = [
             self.sim.process(
-                self._train_process(route, wire, raw, compress, src, dst)
+                self._train_process(
+                    route, pkts, wire, raw, compress, src, dst, on_retransmit
+                )
             )
-            for wire, raw in trains
+            for pkts, wire, raw in trains
         ]
         done = self.sim.event()
 
@@ -253,13 +322,15 @@ class Network:
         self.sim.all_of(procs).add_callback(finish)
         return done
 
-    # -- internals --------------------------------------------------------------
-
     def _split_trains(
         self, num_packets: int, wire_payload: int, raw_payload: int
-    ) -> Iterable:
-        """Divide the message into packet trains with proportional bytes."""
-        trains: List = []
+    ) -> Iterable[Tuple[int, int, int]]:
+        """Divide the message into packet trains with proportional bytes.
+
+        Yields ``(packets, wire_bytes, raw_bytes)`` per train, byte
+        counts including per-packet headers.
+        """
+        trains: List[Tuple[int, int, int]] = []
         remaining_packets = num_packets
         wire_left, raw_left = wire_payload, raw_payload
         while remaining_packets > 0:
@@ -272,17 +343,21 @@ class Network:
                 wire, raw = wire_left, raw_left
             wire_left -= wire
             raw_left -= raw
-            trains.append((pkts * HEADER_BYTES + wire, pkts * HEADER_BYTES + raw))
+            trains.append(
+                (pkts, pkts * HEADER_BYTES + wire, pkts * HEADER_BYTES + raw)
+            )
         return trains
 
     def _train_process(
         self,
         route: Route,
+        packets: int,
         wire_bytes: int,
         raw_bytes: int,
         compress: bool,
         src: int,
         dst: int,
+        on_retransmit: Optional[RetransmitHook] = None,
     ) -> Generator[Event, Any, None]:
         """Pipeline one packet train through engines and links.
 
@@ -311,7 +386,7 @@ class Network:
             attempts += 1
             dropped = False
             for index, (resource, nbytes, head, post_delay) in enumerate(stages):
-                drop_here = resource.should_drop()
+                drop_here = resource.should_drop(packets)
                 head_arrived, delivered = resource.transmit_cut_through(
                     nbytes, head
                 )
@@ -331,6 +406,13 @@ class Network:
             if not dropped:
                 return
             self.trains_retransmitted += 1
+            self.packets_retransmitted += packets
+            if on_retransmit is not None:
+                on_retransmit(
+                    packets,
+                    wire_bytes - packets * HEADER_BYTES,
+                    raw_bytes - packets * HEADER_BYTES,
+                )
             if self.tracer is not None:
                 self.tracer.instant(
                     "train.retransmit",

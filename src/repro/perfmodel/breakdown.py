@@ -43,7 +43,12 @@ class Breakdown:
         )
 
     def normalized(self) -> Dict[str, float]:
-        total = self.total or 1.0
+        # Explicit zero check instead of a falsy ``or`` default (the
+        # zero-ratio bug's cousin): an empty breakdown is all-zero
+        # fractions, not divided by a fabricated 1.0 total.
+        total = self.total
+        if total == 0.0:
+            total = 1.0
         return {
             "forward": self.forward / total,
             "backward": self.backward / total,

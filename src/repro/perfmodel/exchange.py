@@ -1,10 +1,14 @@
 """Paper-scale gradient-exchange simulation (timing only).
 
-Drives the event-driven network with *sized* messages — no
+Drives the event-driven network with *size-only* WireMessages — no
 multi-hundred-megabyte arrays are materialized — while compression
 ratios come from the real codec run on sampled gradient vectors with
 the model's empirical value distribution.  This is the machinery behind
 Table II, Fig 12 and Fig 15.
+
+Wire sizes come from the same :func:`repro.transport.wire.build_wire_message`
+builder the functional ``Endpoint.isend`` path uses, so the timing and
+functional domains cannot drift apart.
 """
 
 from __future__ import annotations
@@ -28,16 +32,14 @@ from repro.distributed.node import (
 )
 from repro.distributed.ring import ring_exchange_sizes
 from repro.dnn.models import ModelSpec
+from repro.network import RetransmitPolicy
 from repro.obs import CAT_PHASE, Tracer
 from repro.transport.endpoint import ClusterComm, ClusterConfig
+from repro.transport.wire import measure_stream_ratio
 
 #: Sample size for measuring a model's compression ratio; large enough
 #: for the ratio to be stable to three digits.
 RATIO_SAMPLE_VALUES = 1 << 18
-
-#: Smaller sample for arbitrary registry codecs, some of which run
-#: bit-serial Python loops (sz_like, snappy_like).
-PROFILE_RATIO_SAMPLE_VALUES = 1 << 14
 
 
 def measure_compression_ratio(
@@ -56,22 +58,11 @@ def measure_profile_ratio(
 ) -> float:
     """Compression ratio of a stream profile's codec on sampled gradients.
 
-    Sized (timing-only) sends cannot run the codec on real payloads, so
-    paper-scale simulations measure the ratio once on a gradient-like
-    sample and apply it to every message — the same methodology the
-    INCEPTIONN path uses via :func:`measure_compression_ratio`.
+    Thin alias of :func:`repro.transport.wire.measure_stream_ratio`,
+    kept here because perfmodel callers historically import it from this
+    module.
     """
-    if not stream.compressing:
-        return 1.0
-    if sample is None:
-        rng = np.random.default_rng(seed)
-        sample = (
-            rng.standard_normal(PROFILE_RATIO_SAMPLE_VALUES) * 0.004
-        ).astype(np.float32)
-    result = stream.compress(sample)
-    # Sized sends reject ratios below 1 (the wire never inflates), so
-    # clamp expansion (e.g. lossless LZ on incompressible floats).
-    return max(1.0, sample.nbytes / max(1, result.payload_nbytes))
+    return measure_stream_ratio(stream, sample=sample, seed=seed)
 
 
 @dataclass
@@ -85,6 +76,12 @@ class ExchangeResult:
     total_s: float
     gradient_sum_s: float
     update_s: float
+    #: Application bytes sent and their on-wire payload (from the
+    #: cluster's transfer log — the WireMessage pipeline's accounting).
+    sent_nbytes: int = 0
+    wire_payload_nbytes: int = 0
+    #: Trains resent due to simulated loss (0 on a lossless fabric).
+    trains_retransmitted: int = 0
 
     @property
     def per_iteration_s(self) -> float:
@@ -95,6 +92,13 @@ class ExchangeResult:
         """Total time minus the attributed non-communication phases."""
         return max(0.0, self.total_s - self.gradient_sum_s - self.update_s)
 
+    @property
+    def wire_ratio(self) -> float:
+        """Achieved wire-level compression across the whole exchange."""
+        if self.wire_payload_nbytes == 0:
+            return 1.0 if self.sent_nbytes == 0 else float("inf")
+        return self.sent_nbytes / self.wire_payload_nbytes
+
 
 def _make_comm(
     num_nodes: int,
@@ -103,6 +107,9 @@ def _make_comm(
     train_packets: int,
     stream: Optional[StreamProfile] = None,
     tracer: Optional[Tracer] = None,
+    loss_rate: float = 0.0,
+    loss_seed: int = 0,
+    retransmit: Optional[RetransmitPolicy] = None,
 ) -> ClusterComm:
     return ClusterComm(
         ClusterConfig(
@@ -111,6 +118,9 @@ def _make_comm(
             bound=bound,
             train_packets=train_packets,
             profile=stream,
+            loss_rate=loss_rate,
+            loss_seed=loss_seed,
+            retransmit=retransmit,
         ),
         tracer=tracer,
     )
@@ -129,6 +139,9 @@ def simulate_wa_exchange(
     include_local_compute: bool = False,
     train_packets: int = 4400,
     tracer: Optional[Tracer] = None,
+    loss_rate: float = 0.0,
+    loss_seed: int = 0,
+    retransmit: Optional[RetransmitPolicy] = None,
 ) -> ExchangeResult:
     """Worker-aggregator iterations: gather g up, sum, update, scatter w.
 
@@ -153,6 +166,9 @@ def simulate_wa_exchange(
         train_packets,
         stream,
         tracer,
+        loss_rate=loss_rate,
+        loss_seed=loss_seed,
+        retransmit=retransmit,
     )
     if explicit_stream is not None and gradient_ratio is None:
         gradient_ratio = measure_profile_ratio(explicit_stream)
@@ -166,11 +182,13 @@ def simulate_wa_exchange(
                 yield comm.sim.timeout(profile.local_compute_s)
                 if tracer is not None and i == 0:
                     record_compute_phases(tracer, profile, compute_start, i)
-            ep.isend_sized(
-                aggregator,
-                nbytes,
-                profile=stream,
-                compression_ratio=gradient_ratio,
+            ep.isend_message(
+                ep.build_message(
+                    aggregator,
+                    nbytes=nbytes,
+                    profile=stream,
+                    ratio=gradient_ratio,
+                )
             )
             yield ep.recv(aggregator)
 
@@ -206,7 +224,8 @@ def simulate_wa_exchange(
                         node=aggregator,
                     )
             events = [
-                ep.isend_sized(dst, nbytes) for dst in range(num_workers)
+                ep.isend_message(ep.build_message(dst, nbytes=nbytes))
+                for dst in range(num_workers)
             ]
             yield comm.sim.all_of(events)
 
@@ -214,6 +233,7 @@ def simulate_wa_exchange(
         comm.sim.process(worker(i))
     comm.sim.process(agg())
     total = comm.run()
+    summary = comm.transfer_summary()
     return ExchangeResult(
         algorithm="wa",
         num_workers=num_workers,
@@ -222,6 +242,9 @@ def simulate_wa_exchange(
         total_s=total,
         gradient_sum_s=sums["sum_s"],
         update_s=sums["update_s"],
+        sent_nbytes=summary.nbytes,
+        wire_payload_nbytes=summary.wire_payload_nbytes,
+        trains_retransmitted=comm.network.trains_retransmitted,
     )
 
 
@@ -238,6 +261,9 @@ def simulate_ring_exchange(
     include_local_compute: bool = False,
     train_packets: int = 4400,
     tracer: Optional[Tracer] = None,
+    loss_rate: float = 0.0,
+    loss_seed: int = 0,
+    retransmit: Optional[RetransmitPolicy] = None,
 ) -> ExchangeResult:
     """Ring iterations at paper scale (every hop on the gradient stream).
 
@@ -256,6 +282,9 @@ def simulate_ring_exchange(
         train_packets,
         stream,
         tracer,
+        loss_rate=loss_rate,
+        loss_seed=loss_seed,
+        retransmit=retransmit,
     )
     if explicit_stream is not None and gradient_ratio is None:
         gradient_ratio = measure_profile_ratio(explicit_stream)
@@ -275,11 +304,13 @@ def simulate_ring_exchange(
             for step in range(1, 2 * n - 1):
                 send_idx = (i - step + 1) % n
                 recv_idx = (i - step) % n
-                ep.isend_sized(
-                    successor,
-                    block_bytes[send_idx],
-                    profile=stream,
-                    compression_ratio=gradient_ratio,
+                ep.isend_message(
+                    ep.build_message(
+                        successor,
+                        nbytes=block_bytes[send_idx],
+                        profile=stream,
+                        ratio=gradient_ratio,
+                    )
                 )
                 yield ep.recv(predecessor)
                 if step < n:
@@ -314,6 +345,7 @@ def simulate_ring_exchange(
     for i in range(num_workers):
         comm.sim.process(worker(i))
     total = comm.run()
+    summary = comm.transfer_summary()
     return ExchangeResult(
         algorithm="ring",
         num_workers=num_workers,
@@ -322,4 +354,7 @@ def simulate_ring_exchange(
         total_s=total,
         gradient_sum_s=sums["sum_s"],
         update_s=sums["update_s"],
+        sent_nbytes=summary.nbytes,
+        wire_payload_nbytes=summary.wire_payload_nbytes,
+        trains_retransmitted=comm.network.trains_retransmitted,
     )

@@ -6,7 +6,20 @@ from .collectives import (
     reduce_to_root,
     send_to,
 )
-from .endpoint import ClusterComm, ClusterConfig, Endpoint, TransferLog
+from .endpoint import (
+    ClusterComm,
+    ClusterConfig,
+    Endpoint,
+    TransferLog,
+    TransferSummary,
+    summarize_transfers,
+)
+from .wire import (
+    WireMessage,
+    WireSegment,
+    build_wire_message,
+    measure_stream_ratio,
+)
 
 __all__ = [
     "broadcast_from_root",
@@ -17,4 +30,10 @@ __all__ = [
     "ClusterConfig",
     "Endpoint",
     "TransferLog",
+    "TransferSummary",
+    "summarize_transfers",
+    "WireMessage",
+    "WireSegment",
+    "build_wire_message",
+    "measure_stream_ratio",
 ]

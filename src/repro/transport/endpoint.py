@@ -18,24 +18,28 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core import ErrorBound, RAW_STREAM, StreamProfile, inceptionn_profile
 from repro.core.bounds import DEFAULT_BOUND
+from repro.hardware.nic import InceptionnNic
 from repro.hardware.timing import engine_latency_s, engine_throughput_bps
 from repro.network import (
     Event,
+    LossModel,
     Network,
     NicTimingModel,
+    RetransmitPolicy,
     Simulation,
     Store,
     SwitchedStar,
-    TOS_DEFAULT,
 )
 from repro.network.topology import DEFAULT_BANDWIDTH_BPS
 from repro.obs import CAT_CODEC, Tracer
+
+from .wire import WireMessage, account_tx_traversal, build_wire_message
 
 
 @dataclass
@@ -50,6 +54,48 @@ class TransferLog:
     sent_at: float
     #: Name of the codec that processed the stream (None for raw).
     codec: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class TransferSummary:
+    """Aggregate wire statistics over a set of :class:`TransferLog` rows."""
+
+    messages: int = 0
+    nbytes: int = 0
+    wire_payload_nbytes: int = 0
+    compressed_messages: int = 0
+
+    @property
+    def wire_ratio(self) -> float:
+        """Application bytes per wire payload byte across all messages.
+
+        Zero-byte traffic is explicitly ratio 1.0 — ``None`` and ``0``
+        are different things here (the zero-ratio bug's
+        falsy-check cousin), so no ``or``-style default is used.
+        """
+        if self.wire_payload_nbytes == 0:
+            return 1.0 if self.nbytes == 0 else float("inf")
+        return self.nbytes / self.wire_payload_nbytes
+
+
+def summarize_transfers(transfers: Sequence[TransferLog]) -> TransferSummary:
+    """Fold a transfer log into one :class:`TransferSummary`."""
+    messages = 0
+    nbytes = 0
+    wire_payload = 0
+    compressed = 0
+    for log in transfers:
+        messages += 1
+        nbytes += log.nbytes
+        wire_payload += log.wire_payload_nbytes
+        if log.compressed:
+            compressed += 1
+    return TransferSummary(
+        messages=messages,
+        nbytes=nbytes,
+        wire_payload_nbytes=wire_payload,
+        compressed_messages=compressed,
+    )
 
 
 @dataclass
@@ -73,6 +119,11 @@ class ClusterConfig:
     mss: int = 1460
     train_packets: int = 44
     profile: Optional[StreamProfile] = None
+    #: Bernoulli per-train drop probability on every link (0 = lossless).
+    loss_rate: float = 0.0
+    loss_seed: int = 0
+    #: Recovery parameters; ``None`` uses the network's defaults.
+    retransmit: Optional[RetransmitPolicy] = None
 
     def __post_init__(self) -> None:
         if self.compression:
@@ -116,14 +167,33 @@ class ClusterComm:
                 config.engine_blocks, config.engine_clock_hz
             ),
         )
+        loss = (
+            LossModel(config.loss_rate, seed=config.loss_seed)
+            if config.loss_rate > 0.0
+            else None
+        )
         self.network = Network(
             self.sim,
             self.topology,
             mss=config.mss,
             train_packets=config.train_packets,
             nics={node: nic for node in range(config.num_nodes)},
+            loss=loss,
+            retransmit=config.retransmit,
             tracer=tracer,
         )
+        #: Functional NICs, one per node — the engine dispatch every
+        #: WireMessage is built through (paper Fig 8's comparator).
+        self.nics: List[InceptionnNic] = [
+            InceptionnNic(
+                node,
+                config.bound,
+                enabled=self.compression_active(),
+                num_blocks=config.engine_blocks,
+                clock_hz=config.engine_clock_hz,
+            )
+            for node in range(config.num_nodes)
+        ]
         self.endpoints: List[Endpoint] = [
             Endpoint(self, node) for node in range(config.num_nodes)
         ]
@@ -136,6 +206,10 @@ class ClusterComm:
     def compression_active(self) -> bool:
         """Engines present on (all) NICs?"""
         return self.config.compression or self.config.profile is not None
+
+    def transfer_summary(self) -> TransferSummary:
+        """Aggregate wire statistics of every message sent so far."""
+        return summarize_transfers(self.transfers)
 
     def run(self, until: Optional[float] = None) -> float:
         """Drive the simulation; returns the final virtual time."""
@@ -211,7 +285,14 @@ class Endpoint:
         estimated: bool,
     ) -> None:
         """Record one compress call and its achieved (or assumed) ratio."""
-        ratio = nbytes / compressed_nbytes if compressed_nbytes else float("inf")
+        # Explicit zero handling: an empty message is ratio 1.0, not
+        # infinity (and 0 compressed bytes of a non-empty message is).
+        if compressed_nbytes:
+            ratio = nbytes / compressed_nbytes
+        elif nbytes:
+            ratio = float("inf")
+        else:
+            ratio = 1.0
         tracer.instant(
             "codec.compress",
             cat=CAT_CODEC,
@@ -230,6 +311,80 @@ class Endpoint:
             "codec_ratio", buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0), codec=codec
         ).observe(ratio)
 
+    def build_message(
+        self,
+        dst: int,
+        array: Optional[np.ndarray] = None,
+        *,
+        nbytes: Optional[int] = None,
+        profile: Optional[StreamProfile] = None,
+        ratio: Optional[float] = None,
+        compressible: Optional[bool] = None,
+    ) -> WireMessage:
+        """Build this node's wire representation of one send.
+
+        Runs the stream's codec exactly once through the sender NIC's
+        engine dispatch (see :func:`repro.transport.wire.build_wire_message`).
+        Functional sends pass ``array``; paper-scale timing sends pass
+        ``nbytes`` plus an optional measured ``ratio``.
+        """
+        stream = self._resolve_profile(profile, compressible)
+        return build_wire_message(
+            self.node_id,
+            dst,
+            stream=stream,
+            array=array,
+            nbytes=nbytes,
+            nic=self.comm.nics[self.node_id],
+            ratio=ratio,
+            mss=self.comm.config.mss,
+        )
+
+    def isend_message(self, msg: WireMessage) -> Event:
+        """Send a built :class:`WireMessage`; returns the delivery event.
+
+        The one send path: the trace span, the transfer log, the timing
+        simulation and the receiver-side Tag-Decoder delivery all read
+        from the same message object.  Retransmitted trains tick the
+        sender NIC's counters once per extra wire traversal.
+        """
+        if msg.src != self.node_id:
+            raise ValueError(
+                f"message built for node {msg.src} sent from {self.node_id}"
+            )
+        tracer = self.comm.tracer
+        if msg.compressed and tracer is not None:
+            self._trace_codec(
+                tracer,
+                msg.codec,
+                msg.nbytes,
+                msg.wire_payload_nbytes,
+                msg.size_only,
+            )
+        self.comm.transfers.append(
+            TransferLog(
+                src=msg.src,
+                dst=msg.dst,
+                nbytes=msg.nbytes,
+                wire_payload_nbytes=msg.wire_payload_nbytes,
+                compressed=msg.compressed,
+                sent_at=self.comm.sim.now,
+                codec=msg.codec,
+            )
+        )
+        tx_nic = self.comm.nics[msg.src]
+
+        def retransmitted(packets: int, wire: int, raw: int) -> None:
+            account_tx_traversal(tx_nic, msg, packets, raw, wire)
+
+        event = self.comm.network.send_wire(msg, on_retransmit=retransmitted)
+        receiver = self.comm.endpoints[msg.dst]
+        rx_nic = self.comm.nics[msg.dst]
+        event.add_callback(
+            lambda ev: receiver._deliver(msg.src, ev.value[0].deliver(rx_nic))
+        )
+        return event
+
     def isend(
         self,
         dst: int,
@@ -245,113 +400,11 @@ class Endpoint:
         bytes under the codec's ToS byte.  ``compressible`` is the
         deprecated boolean alias for the cluster default profile.
         """
-        stream = self._resolve_profile(profile, compressible)
-        arr = np.ascontiguousarray(array, dtype=np.float32)
-        tos = TOS_DEFAULT
-        wire_payload = arr.nbytes
-        compressed_nbytes = None
-        deliver = arr
-        codec_name = None
-        if stream.compressing and self.comm.compression_active():
-            tos = stream.resolved_tos
-            result = stream.compress(arr.reshape(-1))
-            compressed_nbytes = result.payload_nbytes
-            wire_payload = compressed_nbytes
-            deliver = result.values.reshape(arr.shape)
-            codec_name = stream.codec
-            tracer = self.comm.tracer
-            if tracer is not None:
-                self._trace_codec(
-                    tracer, codec_name, arr.nbytes, compressed_nbytes, False
-                )
-        self.comm.transfers.append(
-            TransferLog(
-                src=self.node_id,
-                dst=dst,
-                nbytes=arr.nbytes,
-                wire_payload_nbytes=wire_payload,
-                compressed=compressed_nbytes is not None,
-                sent_at=self.comm.sim.now,
-                codec=codec_name,
+        return self.isend_message(
+            self.build_message(
+                dst, array, profile=profile, compressible=compressible
             )
         )
-        event = self.comm.network.send(
-            self.node_id,
-            dst,
-            arr.nbytes,
-            tos=tos,
-            payload=deliver,
-            compressed_nbytes=compressed_nbytes,
-        )
-        receiver = self.comm.endpoints[dst]
-        event.add_callback(
-            lambda ev: receiver._deliver(self.node_id, ev.value[0])
-        )
-        return event
-
-    def isend_sized(
-        self,
-        dst: int,
-        nbytes: int,
-        profile: Optional[StreamProfile] = None,
-        compression_ratio: Optional[float] = None,
-        compressible: Optional[bool] = None,
-    ) -> Event:
-        """Timing-only send: bytes move, no array is materialized.
-
-        Paper-scale experiments (hundreds of MB per message) use this
-        path with a compression ratio measured on sampled gradients, so
-        the wire timing stays faithful without allocating the payload.
-        The profile supplies the stream's ToS; the ratio stays
-        caller-measured because there are no values to compress here.
-        """
-        if nbytes < 0:
-            raise ValueError("nbytes cannot be negative")
-        # Validate the ratio up front: 0.0 is an error, not "unset"
-        # (a falsy check here once silently sent uncompressed sizes).
-        if compression_ratio is not None and compression_ratio < 1.0:
-            raise ValueError(
-                "compression ratio must be >= 1 "
-                f"(got {compression_ratio!r}); pass None for uncompressed"
-            )
-        stream = self._resolve_profile(profile, compressible)
-        tos = TOS_DEFAULT
-        compressed_nbytes = None
-        wire_payload = nbytes
-        codec_name = None
-        if stream.compressing and self.comm.compression_active():
-            tos = stream.resolved_tos
-            ratio = 1.0 if compression_ratio is None else compression_ratio
-            compressed_nbytes = int(round(nbytes / ratio))
-            wire_payload = compressed_nbytes
-            codec_name = stream.codec
-            tracer = self.comm.tracer
-            if tracer is not None:
-                self._trace_codec(
-                    tracer, codec_name, nbytes, compressed_nbytes, True
-                )
-        self.comm.transfers.append(
-            TransferLog(
-                src=self.node_id,
-                dst=dst,
-                nbytes=nbytes,
-                wire_payload_nbytes=wire_payload,
-                compressed=compressed_nbytes is not None,
-                sent_at=self.comm.sim.now,
-                codec=codec_name,
-            )
-        )
-        event = self.comm.network.send(
-            self.node_id,
-            dst,
-            nbytes,
-            tos=tos,
-            payload=None,
-            compressed_nbytes=compressed_nbytes,
-        )
-        receiver = self.comm.endpoints[dst]
-        event.add_callback(lambda ev: receiver._deliver(self.node_id, nbytes))
-        return event
 
     def recv(self, src: int) -> Event:
         """Event yielding the next array sent by ``src`` to this node."""

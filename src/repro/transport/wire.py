@@ -1,0 +1,293 @@
+"""One message, one wire representation (paper Figs 8–11).
+
+A :class:`WireMessage` is the single artifact every send produces: the
+stream's codec runs **exactly once** through the sender NIC's engine
+dispatch, yielding the message's wire size, its ToS tag, the receiver's
+reconstruction, and an ordered train of per-packet segments.  Every
+consumer then reads from that one object:
+
+* the network simulator clocks ``wire_nbytes`` (timing domain),
+* the receiver endpoint hands it to the destination NIC's Tag-Decoder
+  path via :meth:`WireMessage.deliver` (functional domain),
+* :class:`repro.hardware.nic.NicCounters` and the obs codec spans are
+  fed from the same build, not from parallel call sites.
+
+Two build modes share the pipeline: *functional* (``array=``) runs the
+real codec and carries the lossy reconstruction; *size-only*
+(``nbytes=``) moves bytes for paper-scale timing studies, with the wire
+size derived from a caller-measured ratio (see
+:func:`measure_stream_ratio`).  This retires the old sized-send
+side path entirely.
+
+Per-packet segments are generated lazily — a 250 MB sized message does
+not materialize 170k objects unless a consumer actually walks the train
+— and their byte counts use cumulative rounding so they always sum to
+the message totals exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Optional
+
+import numpy as np
+
+from repro.core import RAW_STREAM, StreamProfile
+from repro.network.packet import (
+    DEFAULT_MSS,
+    HEADER_BYTES,
+    TOS_DEFAULT,
+    distribute_payload,
+    packet_count,
+)
+
+if TYPE_CHECKING:
+    from repro.hardware.nic import InceptionnNic
+
+#: Sample size for measuring a stream's compression ratio.  Small enough
+#: for the bit-serial Python codecs (sz_like, snappy_like) to stay fast.
+RATIO_SAMPLE_VALUES = 1 << 14
+
+
+@dataclass(frozen=True)
+class WireSegment:
+    """One ToS-tagged packet of a message's train.
+
+    ``payload_nbytes`` is the packet's on-wire payload (post-engine);
+    ``raw_nbytes`` is the application bytes it carries.  They differ
+    exactly when the segment's ToS routed it through an engine.
+    """
+
+    seq: int
+    tos: int
+    payload_nbytes: int
+    raw_nbytes: int
+    #: float32 values carried, when the raw payload is word-aligned.
+    num_values: Optional[int] = None
+
+    @property
+    def wire_nbytes(self) -> int:
+        """Header plus on-wire payload."""
+        return HEADER_BYTES + self.payload_nbytes
+
+    @property
+    def engine_processed(self) -> bool:
+        """True when the NIC comparator dispatched this packet."""
+        return self.tos != TOS_DEFAULT
+
+
+@dataclass
+class WireMessage:
+    """A message as the wire sees it: header info plus a packet train."""
+
+    src: int
+    dst: int
+    tos: int
+    codec: Optional[str]
+    #: Application (uncompressed) bytes.
+    nbytes: int
+    #: On-wire payload bytes (post-engine, headers excluded).
+    wire_payload_nbytes: int
+    num_packets: int
+    mss: int
+    compressed: bool
+    #: Size-only messages move bytes, not values (paper-scale timing).
+    size_only: bool
+    #: Receiver-side reconstruction (codec output); None when size-only.
+    values: Optional[np.ndarray] = None
+
+    @property
+    def wire_nbytes(self) -> int:
+        """Total bytes clocked on the wire (headers + payload)."""
+        return self.num_packets * HEADER_BYTES + self.wire_payload_nbytes
+
+    @property
+    def ratio(self) -> float:
+        """Achieved payload compression ratio (1.0 for empty messages)."""
+        if self.wire_payload_nbytes:
+            return self.nbytes / self.wire_payload_nbytes
+        return float("inf") if self.nbytes else 1.0
+
+    def segments(self) -> Iterator[WireSegment]:
+        """The packet train, generated lazily in sequence order.
+
+        Raw bytes fill MSS-sized packets; wire bytes spread over the
+        same packets by cumulative rounding, so both sum exactly to the
+        message totals (the engine compresses payloads in place — the
+        packet count never changes, mirroring Sec. VI-A).
+        """
+        wire_sizes = distribute_payload(self.wire_payload_nbytes, self.num_packets)
+        raw_left = self.nbytes
+        for seq in range(self.num_packets):
+            raw = min(self.mss, raw_left)
+            raw_left -= raw
+            num_values = raw // 4 if raw % 4 == 0 else None
+            yield WireSegment(
+                seq=seq,
+                tos=self.tos,
+                payload_nbytes=wire_sizes[seq],
+                raw_nbytes=raw,
+                num_values=num_values,
+            )
+
+    def deliver(self, nic: Optional["InceptionnNic"] = None) -> object:
+        """What the destination host observes after the RX pipeline.
+
+        Models the paper's Fig 10 receive path: the train lands in the
+        Burst Buffer, the Tag Decoder walks it packet by packet, and the
+        host sees the reconstructed values (or, size-only, the byte
+        count).  ``nic`` is the destination's functional NIC; its RX
+        counters tick once per successful delivery regardless of how
+        many wire traversals retransmissions needed.
+        """
+        if nic is not None:
+            engine_packets = self.num_packets if self.compressed else 0
+            nic.account_rx(self.num_packets, engine_packets)
+        if self.size_only:
+            return self.nbytes
+        return self.values
+
+
+def build_wire_message(
+    src: int,
+    dst: int,
+    *,
+    stream: Optional[StreamProfile] = None,
+    array: Optional[np.ndarray] = None,
+    nbytes: Optional[int] = None,
+    nic: Optional["InceptionnNic"] = None,
+    ratio: Optional[float] = None,
+    mss: int = DEFAULT_MSS,
+) -> WireMessage:
+    """Build the single wire representation of one send.
+
+    Exactly one of ``array`` (functional mode: the codec runs on the
+    real values) or ``nbytes`` (size-only mode: the wire size comes
+    from ``ratio``) must be given.  ``nic`` is the *sender's* functional
+    NIC; its comparator decides whether the stream's ToS dispatches to
+    an engine, and its TX counters tick for the built train.
+
+    ``ratio`` is validated before the dispatch check — a ratio below
+    1.0 (including 0.0, which is not "unset") is a caller bug no matter
+    what engines are present.  ``None`` means "caller did not measure",
+    i.e. the uncompressed size.
+    """
+    if (array is None) == (nbytes is None):
+        raise ValueError("pass exactly one of array= or nbytes=")
+    if nbytes is not None and nbytes < 0:
+        raise ValueError("nbytes cannot be negative")
+    if ratio is not None:
+        if array is not None:
+            raise ValueError(
+                "ratio= only applies to size-only messages; functional "
+                "sends measure their ratio by running the codec"
+            )
+        if ratio < 1.0:
+            raise ValueError(
+                "compression ratio must be >= 1 "
+                f"(got {ratio!r}); pass None for uncompressed"
+            )
+    if stream is None:
+        stream = RAW_STREAM
+    dispatched = (
+        stream.compressing
+        and nic is not None
+        and nic.dispatches(stream.resolved_tos)
+    )
+    tos = TOS_DEFAULT
+    codec_name: Optional[str] = None
+    values: Optional[np.ndarray] = None
+
+    if array is not None:
+        arr = np.ascontiguousarray(array, dtype=np.float32)
+        raw_nbytes = arr.nbytes
+        if dispatched:
+            result = stream.compress(arr.reshape(-1))
+            wire_payload = result.payload_nbytes
+            values = result.values.reshape(arr.shape)
+            tos = stream.resolved_tos
+            codec_name = stream.codec
+        else:
+            wire_payload = raw_nbytes
+            values = arr
+        size_only = False
+    else:
+        raw_nbytes = int(nbytes)  # type: ignore[arg-type]
+        if dispatched:
+            wire_payload = int(round(raw_nbytes / (1.0 if ratio is None else ratio)))
+            tos = stream.resolved_tos
+            codec_name = stream.codec
+        else:
+            wire_payload = raw_nbytes
+        size_only = True
+
+    num_packets = packet_count(raw_nbytes, mss)
+    msg = WireMessage(
+        src=src,
+        dst=dst,
+        tos=tos,
+        codec=codec_name,
+        nbytes=raw_nbytes,
+        wire_payload_nbytes=wire_payload,
+        num_packets=num_packets,
+        mss=mss,
+        compressed=dispatched,
+        size_only=size_only,
+        values=values,
+    )
+    if nic is not None:
+        account_tx_traversal(nic, msg, num_packets, raw_nbytes, wire_payload)
+    return msg
+
+
+def account_tx_traversal(
+    nic: "InceptionnNic",
+    msg: WireMessage,
+    packets: int,
+    raw_nbytes: int,
+    wire_nbytes: int,
+) -> None:
+    """Tick a sender NIC's TX counters for one wire traversal.
+
+    Called once at build time and once more per retransmission — the
+    counters see every traversal of the wire, while RX counters (in
+    :meth:`WireMessage.deliver`) see only the successful one.
+    """
+    if msg.compressed:
+        nic.account_tx(packets, packets, raw_nbytes, wire_nbytes)
+    else:
+        nic.account_tx(packets, 0, 0, 0)
+
+
+def measure_stream_ratio(
+    stream: StreamProfile,
+    sample: Optional[np.ndarray] = None,
+    seed: int = 0,
+) -> float:
+    """Compression ratio of a stream's codec on sampled gradients.
+
+    Size-only messages cannot run the codec on real payloads, so
+    paper-scale simulations measure the ratio once on a gradient-like
+    sample and apply it to every message — the paper's own methodology
+    for its Table II/Fig 15 projections.
+    """
+    if not stream.compressing:
+        return 1.0
+    if sample is None:
+        rng = np.random.default_rng(seed)
+        sample = (rng.standard_normal(RATIO_SAMPLE_VALUES) * 0.004).astype(
+            np.float32
+        )
+    result = stream.compress(sample)
+    # Sized sends reject ratios below 1 (the wire never inflates), so
+    # clamp expansion (e.g. lossless LZ on incompressible floats).
+    return max(1.0, sample.nbytes / max(1, result.payload_nbytes))
+
+
+__all__ = [
+    "WireMessage",
+    "WireSegment",
+    "account_tx_traversal",
+    "build_wire_message",
+    "measure_stream_ratio",
+]

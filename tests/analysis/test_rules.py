@@ -9,6 +9,7 @@ from repro.analysis.rules.bits import BitAccountingRule
 from repro.analysis.rules.deprecated import DeprecatedApiRule
 from repro.analysis.rules.dtype import DtypeDisciplineRule
 from repro.analysis.rules.registry_tos import RegistryTosRule
+from repro.analysis.rules.retired import RetiredApiRule
 
 
 def codes(findings):
@@ -435,3 +436,67 @@ class TestAnnotations:
         assert codes(findings) == ["R5"]
         assert "*parts" in findings[0].message
         assert "**options" in findings[0].message
+
+
+class TestRetiredApi:
+    def test_flags_isend_sized_call(self, lint_snippet):
+        findings = lint_snippet(
+            "distributed/x.py",
+            """
+            def go(ep):
+                ep.isend_sized(1, 1000)
+            """,
+            rules=[RetiredApiRule()],
+        )
+        assert codes(findings) == ["R6"]
+        assert "WireMessage" in findings[0].message
+
+    def test_flags_bare_name_call(self, lint_snippet):
+        findings = lint_snippet(
+            "perfmodel/x.py",
+            """
+            def go(isend_sized):
+                isend_sized(1, 1000)
+            """,
+            rules=[RetiredApiRule()],
+        )
+        assert codes(findings) == ["R6"]
+
+    def test_flags_compression_ratio_keyword(self, lint_snippet):
+        findings = lint_snippet(
+            "perfmodel/x.py",
+            """
+            def go(ep, stream):
+                ep.build_message(1, nbytes=100, compression_ratio=4.0)
+            """,
+            rules=[RetiredApiRule()],
+        )
+        assert codes(findings) == ["R6"]
+        assert "ratio=" in findings[0].message
+
+    def test_positional_compression_ratio_function_allowed(self, lint_snippet):
+        # The statistics helper takes positional args; only the retired
+        # keyword form is banned.
+        findings = lint_snippet(
+            "core/x.py",
+            """
+            from repro.core import compression_ratio
+
+            def stats(values, bound):
+                return compression_ratio(values, bound)
+            """,
+            rules=[RetiredApiRule()],
+        )
+        assert findings == []
+
+    def test_new_builder_api_allowed(self, lint_snippet):
+        findings = lint_snippet(
+            "distributed/x.py",
+            """
+            def go(ep, stream):
+                msg = ep.build_message(1, nbytes=1000, profile=stream, ratio=4.0)
+                return ep.isend_message(msg)
+            """,
+            rules=[RetiredApiRule()],
+        )
+        assert findings == []

@@ -62,13 +62,15 @@ def test_train_splitting_conserves_bytes(nbytes, wire, train_packets):
     num_packets = packet_count(nbytes, net.mss)
     wire = min(wire, nbytes)  # compressed payload never exceeds raw
     trains = list(net._split_trains(num_packets, wire, nbytes))
-    total_wire = sum(w for w, _ in trains)
-    total_raw = sum(r for _, r in trains)
+    total_pkts = sum(p for p, _, _ in trains)
+    total_wire = sum(w for _, w, _ in trains)
+    total_raw = sum(r for _, _, r in trains)
+    assert total_pkts == num_packets
     assert total_wire == num_packets * HEADER_BYTES + wire
     assert total_raw == num_packets * HEADER_BYTES + nbytes
     expected_trains = -(-num_packets // train_packets)
     assert len(trains) == expected_trains
-    assert all(w >= 0 and r >= 0 for w, r in trains)
+    assert all(p >= 1 and w >= 0 and r >= 0 for p, w, r in trains)
 
 
 def test_cut_through_head_clamped_to_train():

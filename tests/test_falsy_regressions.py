@@ -1,0 +1,104 @@
+"""Zero-vs-unset regressions: cousins of the sized-send zero-ratio bug.
+
+A falsy check (``x or default``, ``if x:``) once collapsed a legitimate
+``0.0`` into "unset".  These tests pin the explicit-zero semantics of
+every consumer that used to share the pattern: normalized phase dicts,
+breakdown fractions, and the wire-ratio accounting of zero-byte
+traffic.
+"""
+
+import numpy as np
+
+from repro.distributed.cluster import DistributedRunResult
+from repro.perfmodel.breakdown import Breakdown
+from repro.transport import (
+    ClusterComm,
+    ClusterConfig,
+    TransferSummary,
+    summarize_transfers,
+)
+from repro.transport.endpoint import TransferLog
+
+
+def _zero_run():
+    return DistributedRunResult(
+        algorithm="ring",
+        num_workers=2,
+        iterations=0,
+        losses=[],
+        final_top1=0.0,
+        final_top5=0.0,
+        virtual_time_s=0.0,
+        phase_seconds={"forward": 0.0, "communicate": 0.0},
+    )
+
+
+class TestZeroTotals:
+    def test_all_zero_phases_normalize_to_zero(self):
+        normalized = _zero_run().normalized_phases()
+        assert normalized == {"forward": 0.0, "communicate": 0.0}
+
+    def test_zero_breakdown_normalizes_without_nan(self):
+        fractions = Breakdown(
+            model="AlexNet",
+            iterations=0,
+            forward=0.0,
+            backward=0.0,
+            gpu_copy=0.0,
+            gradient_sum=0.0,
+            communicate=0.0,
+            update=0.0,
+        ).normalized()
+        assert all(v == 0.0 for v in fractions.values())
+
+
+class TestZeroByteWireAccounting:
+    def test_empty_summary_is_ratio_one(self):
+        summary = summarize_transfers([])
+        assert summary == TransferSummary(0, 0, 0, 0)
+        assert summary.wire_ratio == 1.0
+
+    def test_zero_byte_transfer_is_ratio_one_not_inf(self):
+        log = TransferLog(
+            src=0,
+            dst=1,
+            nbytes=0,
+            wire_payload_nbytes=0,
+            compressed=False,
+            sent_at=0.0,
+        )
+        assert summarize_transfers([log]).wire_ratio == 1.0
+
+    def test_zero_byte_send_flows_through_pipeline(self):
+        comm = ClusterComm(ClusterConfig(num_nodes=2))
+        got = []
+
+        def sender():
+            ep = comm.endpoints[0]
+            yield ep.isend(1, np.zeros(0, dtype=np.float32))
+
+        def receiver():
+            got.append((yield comm.endpoints[1].recv(0)))
+
+        comm.sim.process(sender())
+        comm.sim.process(receiver())
+        comm.run()
+        (received,) = got
+        assert received.size == 0
+        summary = comm.transfer_summary()
+        assert summary.messages == 1
+        assert summary.nbytes == 0
+        assert summary.wire_ratio == 1.0
+
+    def test_nonzero_payload_of_zero_wire_is_infinite_ratio(self):
+        # The inverse corner: bytes sent but nothing on the wire is an
+        # infinite ratio, never a silent 1.0.
+        log = TransferLog(
+            src=0,
+            dst=1,
+            nbytes=100,
+            wire_payload_nbytes=0,
+            compressed=True,
+            sent_at=0.0,
+        )
+        assert summarize_transfers([log]).wire_ratio == float("inf")

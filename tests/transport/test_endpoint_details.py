@@ -13,13 +13,14 @@ def _comm(num_nodes=3, profile=None, **kwargs):
     )
 
 
-class TestSizedSends:
-    def test_sized_send_delivers_size(self):
+class TestSizedMessages:
+    def test_sized_message_delivers_size(self):
         comm = _comm()
         got = []
 
         def sender():
-            yield comm.endpoints[0].isend_sized(1, 12345)
+            ep = comm.endpoints[0]
+            yield ep.isend_message(ep.build_message(1, nbytes=12345))
 
         def receiver():
             got.append((yield comm.endpoints[1].recv(0)))
@@ -29,13 +30,16 @@ class TestSizedSends:
         comm.run()
         assert got == [12345]
 
-    def test_sized_send_ratio_shrinks_wire(self):
+    def test_sized_message_ratio_shrinks_wire(self):
         stream = inceptionn_profile()
         comm = _comm(profile=stream)
 
         def sender():
-            yield comm.endpoints[0].isend_sized(
-                1, 1_000_000, profile=stream, compression_ratio=10.0
+            ep = comm.endpoints[0]
+            yield ep.isend_message(
+                ep.build_message(
+                    1, nbytes=1_000_000, profile=stream, ratio=10.0
+                )
             )
 
         def receiver():
@@ -50,21 +54,24 @@ class TestSizedSends:
         stream = inceptionn_profile()
         comm = _comm(profile=stream)
         with pytest.raises(ValueError):
-            comm.endpoints[0].isend_sized(
-                1, 100, profile=stream, compression_ratio=0.5
+            comm.endpoints[0].build_message(
+                1, nbytes=100, profile=stream, ratio=0.5
             )
 
     def test_negative_size_rejected(self):
         comm = _comm()
         with pytest.raises(ValueError):
-            comm.endpoints[0].isend_sized(1, -10)
+            comm.endpoints[0].build_message(1, nbytes=-10)
 
     def test_ratio_ignored_without_engines(self):
         comm = _comm(profile=None)
 
         def sender():
-            yield comm.endpoints[0].isend_sized(
-                1, 1000, profile=inceptionn_profile(), compression_ratio=10.0
+            ep = comm.endpoints[0]
+            yield ep.isend_message(
+                ep.build_message(
+                    1, nbytes=1000, profile=inceptionn_profile(), ratio=10.0
+                )
             )
 
         def receiver():

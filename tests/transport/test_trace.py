@@ -16,7 +16,7 @@ def _comm(num_nodes=3, profile=None, tracer=None, **kwargs):
 
 
 class TestSizedRatioValidation:
-    """compression_ratio=0.0 must be an error, not 'unset'.
+    """ratio=0.0 must be an error, not 'unset'.
 
     A falsy check once collapsed 0.0 into None, silently sending the
     uncompressed size; None and 0.0 now mean different things.
@@ -25,31 +25,32 @@ class TestSizedRatioValidation:
     def test_ratio_zero_rejected(self):
         comm = _comm(profile=inceptionn_profile())
         with pytest.raises(ValueError, match="compression ratio"):
-            comm.endpoints[0].isend_sized(
-                1, 100, profile=inceptionn_profile(), compression_ratio=0.0
+            comm.endpoints[0].build_message(
+                1, nbytes=100, profile=inceptionn_profile(), ratio=0.0
             )
 
     def test_ratio_below_one_rejected(self):
         comm = _comm(profile=inceptionn_profile())
         with pytest.raises(ValueError, match=">= 1"):
-            comm.endpoints[0].isend_sized(
-                1, 100, profile=inceptionn_profile(), compression_ratio=0.5
+            comm.endpoints[0].build_message(
+                1, nbytes=100, profile=inceptionn_profile(), ratio=0.5
             )
 
     def test_ratio_rejected_even_without_engines(self):
-        # Validation happens before the engines-enabled check: a bad
+        # Validation happens before the engine-dispatch check: a bad
         # ratio is a caller bug regardless of the cluster profile.
         comm = _comm(profile=None)
         with pytest.raises(ValueError, match="compression ratio"):
-            comm.endpoints[0].isend_sized(1, 100, compression_ratio=0.0)
+            comm.endpoints[0].build_message(1, nbytes=100, ratio=0.0)
 
     def test_none_means_uncompressed_size(self):
         stream = inceptionn_profile()
         comm = _comm(profile=stream)
 
         def sender():
-            yield comm.endpoints[0].isend_sized(
-                1, 1000, profile=stream, compression_ratio=None
+            ep = comm.endpoints[0]
+            yield ep.isend_message(
+                ep.build_message(1, nbytes=1000, profile=stream, ratio=None)
             )
 
         def receiver():
@@ -63,9 +64,10 @@ class TestSizedRatioValidation:
     def test_ratio_exactly_one_accepted(self):
         stream = inceptionn_profile()
         comm = _comm(profile=stream)
-        comm.endpoints[0].isend_sized(
-            1, 1000, profile=stream, compression_ratio=1.0
+        msg = comm.endpoints[0].build_message(
+            1, nbytes=1000, profile=stream, ratio=1.0
         )
+        assert msg.wire_payload_nbytes == 1000
 
 
 class TestCodecTrace:
@@ -75,8 +77,9 @@ class TestCodecTrace:
         comm = _comm(profile=stream, tracer=tracer)
 
         def sender():
-            yield comm.endpoints[0].isend_sized(
-                1, 1_000_000, profile=stream, compression_ratio=4.0
+            ep = comm.endpoints[0]
+            yield ep.isend_message(
+                ep.build_message(1, nbytes=1_000_000, profile=stream, ratio=4.0)
             )
 
         def receiver():

@@ -1,0 +1,146 @@
+"""WireMessage builder and segment-train invariants."""
+
+import numpy as np
+import pytest
+
+from repro.core import inceptionn_profile
+from repro.network.packet import HEADER_BYTES, packet_count
+from repro.transport import (
+    ClusterComm,
+    ClusterConfig,
+    WireMessage,
+    build_wire_message,
+)
+
+
+def _comm(num_nodes=3, profile=None, **kwargs):
+    return ClusterComm(
+        ClusterConfig(num_nodes=num_nodes, profile=profile, **kwargs)
+    )
+
+
+class TestBuilderValidation:
+    def test_exactly_one_of_array_or_nbytes(self):
+        comm = _comm()
+        ep = comm.endpoints[0]
+        with pytest.raises(ValueError):
+            ep.build_message(1)
+        with pytest.raises(ValueError):
+            ep.build_message(
+                1, np.zeros(4, dtype=np.float32), nbytes=16
+            )
+
+    def test_ratio_rejected_with_array(self):
+        comm = _comm(profile=inceptionn_profile())
+        with pytest.raises(ValueError):
+            comm.endpoints[0].build_message(
+                1, np.zeros(4, dtype=np.float32), ratio=2.0
+            )
+
+    def test_wrong_source_rejected_at_send(self):
+        comm = _comm()
+        msg = comm.endpoints[1].build_message(2, nbytes=100)
+        with pytest.raises(ValueError):
+            comm.endpoints[0].isend_message(msg)
+
+
+class TestSegments:
+    def _message(self, nbytes, **kwargs):
+        comm = _comm(profile=inceptionn_profile())
+        return comm.endpoints[0].build_message(1, nbytes=nbytes, **kwargs)
+
+    @pytest.mark.parametrize("nbytes", [0, 1, 1459, 1460, 1461, 100_000])
+    def test_segment_sums_match_totals(self, nbytes):
+        msg = self._message(
+            nbytes, profile=inceptionn_profile(), ratio=3.5
+        )
+        segments = list(msg.segments())
+        assert len(segments) == msg.num_packets
+        assert [s.seq for s in segments] == list(range(msg.num_packets))
+        assert sum(s.payload_nbytes for s in segments) == (
+            msg.wire_payload_nbytes
+        )
+        assert sum(s.raw_nbytes for s in segments) == msg.nbytes
+        assert sum(s.wire_nbytes for s in segments) == msg.wire_nbytes
+
+    def test_zero_byte_message_is_one_empty_packet(self):
+        msg = self._message(0)
+        assert msg.num_packets == 1
+        (seg,) = list(msg.segments())
+        assert seg.payload_nbytes == 0
+        assert seg.raw_nbytes == 0
+        assert seg.wire_nbytes == HEADER_BYTES
+        assert msg.ratio == 1.0
+
+    def test_segments_are_lazy(self):
+        # A paper-scale sized message must not materialize its packets.
+        msg = self._message(250_000_000)
+        gen = msg.segments()
+        first = next(gen)
+        assert first.seq == 0
+        assert msg.num_packets == packet_count(250_000_000, msg.mss)
+
+    def test_segments_carry_the_stream_tos(self):
+        stream = inceptionn_profile()
+        msg = self._message(5000, profile=stream, ratio=2.0)
+        assert msg.compressed
+        assert all(s.tos == stream.resolved_tos for s in msg.segments())
+        assert all(s.engine_processed for s in msg.segments())
+
+
+class TestFunctionalBuild:
+    def test_functional_message_compresses_once(self):
+        stream = inceptionn_profile()
+        comm = _comm(profile=stream)
+        values = (
+            np.random.default_rng(7).standard_normal(4096) * 0.004
+        ).astype(np.float32)
+        msg = comm.endpoints[0].build_message(1, values, profile=stream)
+        assert isinstance(msg, WireMessage)
+        assert not msg.size_only
+        assert msg.compressed
+        assert msg.nbytes == values.nbytes
+        assert msg.wire_payload_nbytes < values.nbytes
+        assert msg.values is not None
+        bound = comm.config.bound.bound
+        assert float(np.max(np.abs(msg.values - values))) <= bound * 6
+
+    def test_raw_build_without_engines(self):
+        comm = _comm(profile=None)
+        values = np.ones(100, dtype=np.float32)
+        msg = comm.endpoints[0].build_message(1, values)
+        assert not msg.compressed
+        assert msg.wire_payload_nbytes == values.nbytes
+        assert np.array_equal(msg.values, values)
+
+    def test_standalone_builder_without_nic(self):
+        msg = build_wire_message(0, 1, nbytes=3000)
+        assert msg.size_only
+        assert not msg.compressed
+        assert msg.wire_payload_nbytes == 3000
+
+
+class TestCounters:
+    def test_tx_and_rx_tick_once_per_delivery(self):
+        stream = inceptionn_profile()
+        comm = _comm(profile=stream)
+        values = np.zeros(2000, dtype=np.float32)
+
+        def sender():
+            yield comm.endpoints[0].isend(1, values, profile=stream)
+
+        def receiver():
+            yield comm.endpoints[1].recv(0)
+
+        comm.sim.process(sender())
+        comm.sim.process(receiver())
+        comm.run()
+        tx = comm.nics[0].counters
+        rx = comm.nics[1].counters
+        expected = packet_count(values.nbytes, comm.config.mss)
+        assert tx.tx_packets == expected
+        assert tx.tx_compressed == expected
+        assert tx.tx_payload_bytes_in == values.nbytes
+        assert 0 < tx.tx_payload_bytes_out < values.nbytes
+        assert rx.rx_packets == expected
+        assert rx.rx_decompressed == expected
