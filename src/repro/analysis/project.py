@@ -19,6 +19,17 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 DEFAULT_TOS_DEFAULT = 0x00
 DEFAULT_TOS_COMPRESS = 0x28
 
+#: The gradient-exchange primitives owned by the strategy layer.  Rule
+#: R7 confines direct calls to these to strategy-plugin modules (ones
+#: that register a :class:`GradientStrategy`) and to the modules that
+#: define the primitives themselves.
+EXCHANGE_FUNCTIONS = (
+    "ring_exchange",
+    "hierarchical_exchange",
+    "worker_exchange",
+    "aggregator_exchange",
+)
+
 
 @dataclass(frozen=True)
 class CodecRegistration:
@@ -42,12 +53,29 @@ class ProjectFacts:
     registrations: List[CodecRegistration] = field(default_factory=list)
     #: ClassName -> wire name, for classes declaring ``name = "<str>"``.
     codec_class_names: Dict[str, str] = field(default_factory=dict)
+    #: Modules that register a GradientStrategy (decorator or call).
+    strategy_registrars: Set[str] = field(default_factory=set)
+    #: Exchange-primitive name -> modules defining a function of that
+    #: name (the primitive layer itself, exempt from R7).
+    exchange_definers: Dict[str, Set[str]] = field(default_factory=dict)
 
     @property
     def registered_names(self) -> Set[str]:
         return {
             r.codec_name for r in self.registrations if r.codec_name is not None
         }
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    """Terminal name of a reference: ``pkg.register_strategy`` -> attr."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        # ``@register_strategy(...)``-style decorator factories.
+        return _terminal_name(node.func)
+    return None
 
 
 def _int_constant(node: ast.AST) -> Optional[int]:
@@ -143,15 +171,20 @@ def collect_project_facts(
                 wire_name = _class_wire_name(node)
                 if wire_name is not None:
                     facts.codec_class_names[node.name] = wire_name
+                for decorator in node.decorator_list:
+                    if _terminal_name(decorator) == "register_strategy":
+                        facts.strategy_registrars.add(module)
+            elif isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                if node.name in EXCHANGE_FUNCTIONS:
+                    facts.exchange_definers.setdefault(
+                        node.name, set()
+                    ).add(module)
             elif isinstance(node, ast.Call):
-                func = node.func
-                callee = (
-                    func.id
-                    if isinstance(func, ast.Name)
-                    else func.attr
-                    if isinstance(func, ast.Attribute)
-                    else None
-                )
+                callee = _terminal_name(node.func)
+                if callee == "register_strategy":
+                    facts.strategy_registrars.add(module)
                 if callee != "register_codec":
                     continue
                 codec_class: Optional[str] = None

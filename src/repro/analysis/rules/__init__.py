@@ -17,6 +17,7 @@ from .deprecated import DeprecatedApiRule
 from .dtype import DtypeDisciplineRule
 from .registry_tos import RegistryTosRule
 from .retired import RetiredApiRule
+from .strategy_calls import StrategyCallsRule
 
 #: Every registered rule class, in code order.
 ALL_RULES: Sequence[Type[Rule]] = (
@@ -26,6 +27,7 @@ ALL_RULES: Sequence[Type[Rule]] = (
     BitAccountingRule,
     AnnotationsRule,
     RetiredApiRule,
+    StrategyCallsRule,
 )
 
 
@@ -71,6 +73,7 @@ __all__ = [
     "RegistryTosRule",
     "RetiredApiRule",
     "Rule",
+    "StrategyCallsRule",
     "default_rules",
     "rules_by_code",
     "select_rules",

@@ -1,0 +1,63 @@
+"""R7: exchange primitives may only be called from strategy plugins.
+
+The strategy refactor confines the gradient-exchange primitives
+(``ring_exchange``, ``hierarchical_exchange``, ``worker_exchange``,
+``aggregator_exchange``) behind the :class:`GradientStrategy` layer:
+the generic ``run_strategy`` driver never touches them, and every call
+site lives inside a module that registers a strategy plugin (or inside
+the primitive layer itself, which composes them).  A direct call from
+anywhere else — a bench, the CLI, a perf model — bypasses the driver's
+accounting and reintroduces the per-algorithm spawn paths the refactor
+deleted.
+
+Like R3, this is a cross-file property: which modules count as plugins
+is discovered from ``register_strategy`` call/decorator sites during
+the project pre-pass, and the per-file check only fires when the linted
+tree registers at least one strategy (so fixture subtrees stay quiet).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import RuleContext
+from ..project import EXCHANGE_FUNCTIONS
+from .base import Rule, call_name
+
+
+class StrategyCallsRule(Rule):
+    """Confine exchange-primitive calls to strategy-plugin modules."""
+
+    code = "R7"
+    name = "strategy-exchange-calls"
+    description = (
+        "gradient-exchange primitives (ring_exchange, "
+        "hierarchical_exchange, worker_exchange, aggregator_exchange) "
+        "may only be called from modules that register a "
+        "GradientStrategy plugin or define the primitives themselves"
+    )
+
+    def visit_Call(self, node: ast.Call, ctx: RuleContext) -> None:
+        project = ctx.project
+        if not project.strategy_registrars:
+            # The linted tree has no strategy layer at all (fixture
+            # snippets, partial subtrees) — nothing to confine.
+            return
+        callee = call_name(node)
+        if callee is None or callee not in EXCHANGE_FUNCTIONS:
+            return
+        if ctx.module in project.strategy_registrars:
+            return
+        # The primitive layer composes its own functions (e.g. the
+        # hierarchical exchange runs ring exchanges per group).
+        definers = set()
+        for modules in project.exchange_definers.values():
+            definers.update(modules)
+        if ctx.module in definers:
+            return
+        ctx.report(
+            node,
+            f"direct call to {callee}() outside a strategy plugin; "
+            "route gradient exchange through run_strategy and a "
+            "registered GradientStrategy instead",
+        )

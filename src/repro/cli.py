@@ -6,9 +6,10 @@ Subcommands
 ``decompress``  reconstruct a ``.incgrad`` file back to ``.npy``
 ``stats``       Table III-style bitwidth/ratio report for a gradient file
 ``simulate``    per-iteration time of a Fig 12 configuration at paper scale
-``train``       run the simulated-cluster training demo
+``train``       run the simulated-cluster training demo (any --strategy)
 ``exchange``    paper-scale gradient-exchange timing under any codec
 ``codecs``      list registered gradient codecs and their measured ratios
+``strategies``  list registered gradient strategies (ring, wa, async_ps, ...)
 ``trace``       run / validate / summarize / convert execution traces
 ``lint``        repo-aware static analysis (see ``repro lint --list-rules``)
 
@@ -158,23 +159,45 @@ def _retransmit_for(args: argparse.Namespace):
     from repro.network import RetransmitPolicy
 
     if args.retransmit is None:
+        # A lossy link without recovery starves the synchronous
+        # exchanges (a dropped train shifts every later message), so
+        # --loss-rate implies the default retransmission policy unless
+        # an explicit timeout overrides it.
+        if getattr(args, "loss_rate", 0.0) > 0.0:
+            return RetransmitPolicy()
         return None
     return RetransmitPolicy(rto_s=args.retransmit * 1e-6)
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
     from repro.core import inceptionn_profile
-    from repro.distributed import train_distributed
+    from repro.distributed import available_strategies, get_strategy, run_strategy
     from repro.dnn import LRSchedule, SGD, build_hdc, hdc_dataset
     from repro.transport import ClusterConfig
+
+    # --strategy is the registry-backed selector; --algorithm survives
+    # as the legacy alias for its two original values.
+    name = args.strategy or args.algorithm or "ring"
+    try:
+        strategy = get_strategy(name)
+    except ValueError:
+        known = ", ".join(available_strategies())
+        raise SystemExit(f"--strategy: unknown strategy {name!r} ({known})")
+    options = {
+        "sync_period": args.sync_period,
+        "max_staleness": args.staleness,
+        "staleness_bound": args.staleness,
+        "group_size": args.group_size,
+        "compute_jitter": args.jitter,
+    }
 
     stream = _stream_for(args)
     if stream is None and args.compress:
         stream = inceptionn_profile()
     tracer = _tracer_for(args)
-    num_nodes = args.workers + 1 if args.algorithm == "wa" else args.workers
-    result = train_distributed(
-        algorithm=args.algorithm,
+    num_nodes = args.workers + strategy.extra_nodes(args.workers, options)
+    result = run_strategy(
+        strategy,
         build_net=lambda s: build_hdc(seed=s),
         make_optimizer=lambda: SGD(LRSchedule(args.lr), momentum=0.9),
         dataset=hdc_dataset(train_size=600, test_size=150, seed=args.seed),
@@ -190,25 +213,45 @@ def _cmd_train(args: argparse.Namespace) -> int:
         stream=stream,
         tracer=tracer,
         seed=args.seed,
+        options=options,
     )
     tag = f"+{args.codec}" if args.codec else ("+C" if args.compress else "")
+    extras = result.report.extras if result.report else {}
+    notes = ""
+    if extras.get("staleness"):
+        notes = f", mean staleness {float(np.mean(extras['staleness'])):.2f}"
+    elif "sync_rounds" in extras:
+        notes = f", {extras['sync_rounds']} sync rounds"
     print(
-        f"{args.algorithm}{tag} x{args.workers}: "
+        f"{result.algorithm}{tag} x{args.workers}: "
         f"loss {result.losses[0]:.3f} -> {result.losses[-1]:.3f}, "
         f"top-1 {result.final_top1:.3f}, "
         f"simulated {result.virtual_time_s:.3f} s "
         f"({100 * result.communication_fraction:.0f}% communication)"
+        f"{notes}"
     )
     _write_trace_outputs(
         tracer,
         args,
         command="train",
-        algorithm=args.algorithm,
+        algorithm=result.algorithm,
         workers=args.workers,
         iterations=args.iterations,
         codec=args.codec or ("inceptionn" if args.compress else None),
         virtual_time_s=result.virtual_time_s,
     )
+    return 0
+
+
+def _cmd_strategies(args: argparse.Namespace) -> int:
+    from repro.distributed import STRATEGIES, available_strategies
+
+    print(f"{'name':<14}{'nodes':<16}description")
+    for name in available_strategies():
+        strategy = STRATEGIES[name]()
+        extra = strategy.extra_nodes(args.workers, {})
+        nodes = f"{args.workers}+{extra}" if extra else f"{args.workers}"
+        print(f"{name:<14}{nodes:<16}{strategy.description}")
     return 0
 
 
@@ -430,7 +473,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("train", help="simulated-cluster training demo")
-    p.add_argument("--algorithm", default="ring", choices=("ring", "wa"))
+    p.add_argument(
+        "--strategy", default=None, metavar="NAME",
+        help="gradient strategy from the registry (see `repro strategies`)",
+    )
+    p.add_argument(
+        "--algorithm", default=None, choices=("ring", "wa"),
+        help="legacy alias for --strategy (ring/wa only)",
+    )
     p.add_argument("--workers", type=int, default=4)
     p.add_argument("--iterations", type=int, default=40)
     p.add_argument("--batch-size", type=int, default=25)
@@ -440,10 +490,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--codec", default=None, metavar="NAME",
         help="registered codec for the gradient stream (see `repro codecs`)",
     )
+    p.add_argument(
+        "--sync-period", type=int, default=4, metavar="H",
+        help="local_sgd: local steps between delta syncs (default 4)",
+    )
+    p.add_argument(
+        "--staleness", type=int, default=None, metavar="S",
+        help="async_ps SSP bound / stale_async round bound (default off/0)",
+    )
+    p.add_argument(
+        "--group-size", type=int, default=2, metavar="K",
+        help="hierarchy: leaf-group size (default 2)",
+    )
+    p.add_argument(
+        "--jitter", type=float, default=0.0, metavar="F",
+        help="uniform(+/-F) perturbation of each worker's compute time",
+    )
     p.add_argument("--seed", type=int, default=0)
     _add_loss_arguments(p)
     _add_trace_arguments(p)
     p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser(
+        "strategies", help="list registered gradient strategies"
+    )
+    p.add_argument("--workers", type=int, default=4)
+    p.set_defaults(func=_cmd_strategies)
 
     p = sub.add_parser("exchange", help="paper-scale exchange timing")
     p.add_argument("--algorithm", default="ring", choices=("ring", "wa"))

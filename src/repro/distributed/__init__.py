@@ -1,34 +1,84 @@
-"""Distributed training algorithms: INCEPTIONN ring + WA baseline."""
+"""Distributed training: pluggable gradient strategies over one driver.
 
+Importing this package registers every built-in
+:class:`~repro.distributed.strategy.GradientStrategy` plugin — the
+INCEPTIONN ring, the worker-aggregator baseline, the asynchronous and
+bounded-staleness parameter servers, the hierarchical rings, and
+LocalSGD — in :data:`~repro.distributed.strategy.STRATEGIES`.
+"""
+
+from .strategy import (
+    GradientStrategy,
+    NodeContext,
+    PHASE_NAMES,
+    STRATEGIES,
+    StrategyReport,
+    StrategyRun,
+    StrategyUpdate,
+    available_strategies,
+    get_strategy,
+    phase_seconds_from_trace,
+    phases_with_residual,
+    register_strategy,
+    run_strategy,
+)
 from .cluster import (
     DistributedRunResult,
-    PHASE_NAMES,
+    RingStrategy,
+    WorkerAggregatorStrategy,
     train_distributed,
 )
-from .async_ps import AsyncRunResult, train_async_ps
-from .hierarchy import GroupLayout, hierarchical_exchange, train_hierarchical
+from .async_ps import AsyncPSStrategy, AsyncRunResult, train_async_ps
+from .hierarchy import (
+    GroupLayout,
+    HierarchyStrategy,
+    hierarchical_exchange,
+    train_hierarchical,
+)
+from .local_sgd import LocalSGDStrategy
+from .stale_async import StaleAsyncStrategy
 from .node import (
     ComputeProfile,
     ZERO_COMPUTE,
     concatenate_blocks,
     partition_blocks,
+    spawn_key,
 )
 from .ring import ring_exchange, ring_exchange_sizes
 from .worker_aggregator import aggregator_exchange, worker_exchange
 
 __all__ = [
-    "DistributedRunResult",
+    "GradientStrategy",
+    "NodeContext",
     "PHASE_NAMES",
+    "STRATEGIES",
+    "StrategyReport",
+    "StrategyRun",
+    "StrategyUpdate",
+    "available_strategies",
+    "get_strategy",
+    "phase_seconds_from_trace",
+    "phases_with_residual",
+    "register_strategy",
+    "run_strategy",
+    "DistributedRunResult",
+    "RingStrategy",
+    "WorkerAggregatorStrategy",
     "train_distributed",
+    "AsyncPSStrategy",
     "AsyncRunResult",
     "train_async_ps",
     "GroupLayout",
+    "HierarchyStrategy",
     "hierarchical_exchange",
     "train_hierarchical",
+    "LocalSGDStrategy",
+    "StaleAsyncStrategy",
     "ComputeProfile",
     "ZERO_COMPUTE",
     "concatenate_blocks",
     "partition_blocks",
+    "spawn_key",
     "ring_exchange",
     "ring_exchange_sizes",
     "aggregator_exchange",

@@ -10,28 +10,40 @@ synchronous WA baseline and the INCEPTIONN ring:
   with the freshest weights (no global barrier);
 * an optional SSP-style ``max_staleness`` bound blocks a worker whose
   iteration count runs more than ``s`` ahead of the slowest worker.
+
+The schedule is the ``"async_ps"`` :class:`GradientStrategy` plugin;
+``train_async_ps`` wraps the shared driver and repackages the result.
+For the *server-side* bounded-staleness variant with per-worker version
+tracking, see :mod:`repro.distributed.stale_async`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Any, Callable, Generator, List, Mapping, Optional
 
 import numpy as np
 
 from repro.core import StreamProfile
 from repro.dnn.data import Dataset
+from repro.network import Event
 from repro.obs import CAT_ASYNC, Tracer
 from repro.dnn.network import Sequential
 from repro.dnn.optim import SGD
-from repro.dnn.training import LocalTrainer
 from repro.transport.endpoint import (
-    ClusterComm,
     ClusterConfig,
     TransferSummary,
 )
 
 from .node import ComputeProfile, ZERO_COMPUTE
+from .strategy import (
+    GradientStrategy,
+    NodeContext,
+    StrategyRun,
+    StrategyUpdate,
+    register_strategy,
+    run_strategy,
+)
 
 
 @dataclass
@@ -49,6 +61,8 @@ class AsyncRunResult:
     losses: List[float] = field(default_factory=list)
     #: Wire-level accounting from the WireMessage pipeline.
     transfers: Optional[TransferSummary] = None
+    #: The server's final parameter vector (parity pinning).
+    final_weights: Optional[np.ndarray] = None
 
     @property
     def mean_staleness(self) -> float:
@@ -57,6 +71,118 @@ class AsyncRunResult:
     @property
     def max_observed_staleness(self) -> int:
         return max(self.staleness) if self.staleness else 0
+
+
+@register_strategy
+class AsyncPSStrategy(GradientStrategy):
+    """Fully asynchronous parameter server with an optional SSP bound."""
+
+    name = "async_ps"
+    description = (
+        "Server applies each gradient on arrival and replies with fresh "
+        "weights; optional SSP max_staleness gates runaway workers."
+    )
+    #: The server owns the canonical optimizer and pays the update.
+    worker_applies_update = False
+
+    def extra_nodes(
+        self, num_workers: int, options: Mapping[str, Any]
+    ) -> int:
+        return 1  # the parameter-server node
+
+    def setup(self, run: StrategyRun) -> None:
+        self._server_id = run.num_workers
+        self._max_staleness: Optional[int] = run.options.get("max_staleness")
+        run.comm.endpoints[self._server_id].promiscuous = True
+        self._server_net = run.build_net(run.seed)
+        self._server_opt = run.make_optimizer()
+        self._server_version = 0  # updates applied so far
+        self._worker_pull_version = [0] * run.num_workers
+        self._worker_progress = [0] * run.num_workers
+        self._staleness_waiters: List = []  # (worker, needed, event)
+        run.extras["staleness"] = []
+        run.comm.spawn(self._server(run))
+
+    def _min_progress(self) -> int:
+        return min(self._worker_progress)
+
+    def _wake_waiters(self) -> None:
+        still = []
+        for worker, needed, event in self._staleness_waiters:
+            if self._min_progress() >= needed:
+                event.succeed()
+            else:
+                still.append((worker, needed, event))
+        self._staleness_waiters[:] = still
+
+    def iteration_gate(
+        self, node: NodeContext, iteration: int
+    ) -> Optional[Event]:
+        if self._max_staleness is None:
+            return None
+        needed = iteration - self._max_staleness
+        if needed <= self._min_progress():
+            return None
+        gate = node.comm.event()
+        self._staleness_waiters.append((node.node_id, needed, gate))
+        return gate
+
+    def exchange(
+        self, node: NodeContext, iteration: int, gradient: np.ndarray
+    ) -> Generator[Event, Any, StrategyUpdate]:
+        ep = node.endpoint
+        round_start = node.comm.now
+        ep.isend(self._server_id, gradient, profile=node.stream)
+        weights = yield ep.recv(self._server_id)
+        if node.tracer is not None:
+            node.tracer.span(
+                "async.round",
+                cat=CAT_ASYNC,
+                ts=round_start,
+                dur=node.comm.now - round_start,
+                node=node.node_id,
+                iteration=iteration,
+            )
+        return StrategyUpdate(weights=weights)
+
+    def after_apply(self, node: NodeContext, iteration: int) -> None:
+        self._worker_progress[node.node_id] = iteration + 1
+        self._wake_waiters()
+
+    def final_model(self, run: StrategyRun) -> Sequential:
+        return self._server_net
+
+    def _server(self, run: StrategyRun) -> Generator[Event, Any, None]:
+        comm = run.comm
+        ep = comm.endpoints[self._server_id]
+        profile = run.profile
+        tracer = run.tracer
+        staleness_log: List[int] = run.extras["staleness"]
+        total_updates = run.num_workers * run.iterations
+        for _ in range(total_updates):
+            src, grad = yield ep.recv_any()
+            if profile.sum_bandwidth_bps:
+                yield comm.timeout(profile.sum_time(grad.nbytes))
+            staleness = self._server_version - self._worker_pull_version[src]
+            staleness_log.append(staleness)
+            if tracer is not None:
+                tracer.instant(
+                    "async.apply",
+                    cat=CAT_ASYNC,
+                    ts=comm.now,
+                    node=self._server_id,
+                    src=src,
+                    staleness=staleness,
+                )
+                tracer.metrics.histogram(
+                    "staleness", buckets=(0, 1, 2, 4, 8, 16)
+                ).observe(staleness)
+            self._server_opt.step_with_vector(self._server_net, grad)
+            self._server_version += 1
+            if profile.update_s:
+                yield comm.timeout(profile.update_s)
+            self._worker_pull_version[src] = self._server_version
+            ep.isend(src, self._server_net.parameter_vector())
 
 
 def train_async_ps(
@@ -87,129 +213,41 @@ def train_async_ps(
     bound; ``None`` is fully asynchronous (HogWild-style, but with the
     server serializing updates — the simulated cluster has no shared
     memory to race on).
+
+    Compatibility wrapper over the ``"async_ps"`` strategy plugin.
     """
-    if num_workers < 2:
-        raise ValueError("need at least two workers")
-    if iterations_per_worker < 1:
-        raise ValueError("need at least one iteration")
-    server_id = num_workers
-    config = cluster or ClusterConfig(num_nodes=num_workers + 1, profile=stream)
-    if config.num_nodes != num_workers + 1:
-        raise ValueError("cluster config must have num_workers + 1 nodes")
-    comm = ClusterComm(config, tracer=tracer)
-    comm.endpoints[server_id].promiscuous = True
-    if stream is None and compress_gradients:
-        stream = comm.default_profile
-
-    server_net = build_net(seed)
-    server_opt = make_optimizer()
-
-    trainers = [
-        LocalTrainer(
-            net=build_net(seed),
-            optimizer=make_optimizer(),
-            dataset=dataset.shard(i, num_workers),
-            batch_size=batch_size,
-            seed=seed + 1000 * i,
-        )
-        for i in range(num_workers)
-    ]
-
-    result = AsyncRunResult(
+    result = run_strategy(
+        "async_ps",
+        build_net=build_net,
+        make_optimizer=make_optimizer,
+        dataset=dataset,
+        num_workers=num_workers,
+        iterations=iterations_per_worker,
+        batch_size=batch_size,
+        cluster=cluster,
+        profile=profile,
+        compress_gradients=compress_gradients,
+        stream=stream,
+        tracer=tracer,
+        seed=seed,
+        options={
+            "max_staleness": max_staleness,
+            "compute_jitter": compute_jitter,
+        },
+    )
+    staleness = (
+        list(result.report.extras.get("staleness", []))
+        if result.report is not None
+        else []
+    )
+    return AsyncRunResult(
         num_workers=num_workers,
         iterations_per_worker=iterations_per_worker,
-        final_top1=0.0,
-        final_top5=0.0,
-        virtual_time_s=0.0,
+        final_top1=result.final_top1,
+        final_top5=result.final_top5,
+        virtual_time_s=result.virtual_time_s,
+        staleness=staleness,
+        losses=list(result.loss_order),
+        transfers=result.transfers,
+        final_weights=result.final_weights,
     )
-    server_version = [0]  # updates applied so far
-    worker_pull_version = [0] * num_workers  # version each worker last saw
-    worker_progress = [0] * num_workers
-    staleness_waiters: List = []  # (worker, needed_min_progress, event)
-    jitter_rng = np.random.default_rng(seed + 77)
-
-    def min_progress() -> int:
-        return min(worker_progress)
-
-    def wake_waiters() -> None:
-        still = []
-        for worker, needed, event in staleness_waiters:
-            if min_progress() >= needed:
-                event.succeed()
-            else:
-                still.append((worker, needed, event))
-        staleness_waiters[:] = still
-
-    def worker(i: int):
-        ep = comm.endpoints[i]
-        trainer = trainers[i]
-        for iteration in range(iterations_per_worker):
-            if max_staleness is not None:
-                needed = iteration - max_staleness
-                if needed > min_progress():
-                    gate = comm.sim.event()
-                    staleness_waiters.append((i, needed, gate))
-                    yield gate
-            compute = profile.local_compute_s
-            if compute and compute_jitter:
-                compute *= 1.0 + compute_jitter * (2 * jitter_rng.random() - 1)
-            if compute:
-                yield comm.sim.timeout(compute)
-            loss, grad = trainer.local_gradient()
-            result.losses.append(loss)
-            round_start = comm.sim.now
-            ep.isend(server_id, grad, profile=stream)
-            weights = yield ep.recv(server_id)
-            if tracer is not None:
-                tracer.span(
-                    "async.round",
-                    cat=CAT_ASYNC,
-                    ts=round_start,
-                    dur=comm.sim.now - round_start,
-                    node=i,
-                    iteration=iteration,
-                )
-            trainer.net.set_parameter_vector(weights)
-            worker_progress[i] = iteration + 1
-            wake_waiters()
-
-    def server():
-        ep = comm.endpoints[server_id]
-        total_updates = num_workers * iterations_per_worker
-        for _ in range(total_updates):
-            src, grad = yield ep.recv_any()
-            if profile.sum_bandwidth_bps:
-                yield comm.sim.timeout(profile.sum_time(grad.nbytes))
-            staleness = server_version[0] - worker_pull_version[src]
-            result.staleness.append(staleness)
-            if tracer is not None:
-                tracer.instant(
-                    "async.apply",
-                    cat=CAT_ASYNC,
-                    ts=comm.sim.now,
-                    node=server_id,
-                    src=src,
-                    staleness=staleness,
-                )
-                tracer.metrics.histogram(
-                    "staleness", buckets=(0, 1, 2, 4, 8, 16)
-                ).observe(staleness)
-            server_opt.step_with_vector(server_net, grad)
-            server_version[0] += 1
-            if profile.update_s:
-                yield comm.sim.timeout(profile.update_s)
-            worker_pull_version[src] = server_version[0]
-            ep.isend(src, server_net.parameter_vector())
-
-    for i in range(num_workers):
-        comm.sim.process(worker(i))
-    comm.sim.process(server())
-    result.virtual_time_s = comm.run()
-
-    logits = server_net.predict(dataset.test_x)
-    from repro.dnn.metrics import top1_accuracy, top5_accuracy
-
-    result.final_top1 = top1_accuracy(logits, dataset.test_y)
-    result.final_top5 = top5_accuracy(logits, dataset.test_y)
-    result.transfers = comm.transfer_summary()
-    return result

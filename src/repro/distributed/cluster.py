@@ -6,12 +6,16 @@ cluster fabric.  Gradient values move through the real codec when
 compression is on, and every phase of the iteration advances the
 virtual clock, so one run yields both the learning curve (accuracy
 claims) and the Table II-style time breakdown (performance claims).
+
+Both algorithms are :class:`~repro.distributed.strategy.GradientStrategy`
+plugins driven by :func:`~repro.distributed.strategy.run_strategy`;
+``train_distributed`` survives as the thin compatibility wrapper.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Generator, List, Mapping, Optional
 
 import numpy as np
 
@@ -19,43 +23,33 @@ from repro.core import StreamProfile
 from repro.dnn.data import Dataset
 from repro.dnn.network import Sequential
 from repro.dnn.optim import SGD
-from repro.dnn.training import LocalTrainer
-from repro.obs import CAT_PHASE, Tracer
-from repro.transport.endpoint import (
-    ClusterComm,
-    ClusterConfig,
-    TransferSummary,
-)
+from repro.network import Event
+from repro.obs import Tracer
+from repro.transport.endpoint import ClusterConfig, TransferSummary
 
-from .node import ComputeProfile, ZERO_COMPUTE, record_compute_phases
+from .node import ComputeProfile, ZERO_COMPUTE
 from .ring import ring_exchange
+from .strategy import (
+    GradientStrategy,
+    NodeContext,
+    PHASE_NAMES,
+    StrategyReport,
+    StrategyRun,
+    StrategyUpdate,
+    phase_seconds_from_trace,
+    register_strategy,
+    run_strategy,
+)
 from .worker_aggregator import aggregator_exchange, worker_exchange
 
-#: The Table II phase names, in the paper's row order.
-PHASE_NAMES = (
-    "forward",
-    "backward",
-    "gpu_copy",
-    "gradient_sum",
-    "communicate",
-    "update",
-)
-
-
-def phase_seconds_from_trace(
-    tracer: Tracer, total_s: float
-) -> Dict[str, float]:
-    """Rebuild the Table II phase dict from recorded ``phase`` spans.
-
-    Every attributed phase is the sum of its span durations; the
-    residual of the run's total time is ``communicate`` — the same
-    accounting the paper's harness uses, now sourced from the trace.
-    """
-    totals = tracer.phase_totals()
-    phases = {name: totals.get(name, 0.0) for name in PHASE_NAMES}
-    attributed = sum(phases[name] for name in PHASE_NAMES if name != "communicate")
-    phases["communicate"] = max(0.0, total_s - attributed)
-    return phases
+__all__ = [
+    "DistributedRunResult",
+    "PHASE_NAMES",
+    "RingStrategy",
+    "WorkerAggregatorStrategy",
+    "phase_seconds_from_trace",
+    "train_distributed",
+]
 
 
 @dataclass
@@ -74,6 +68,15 @@ class DistributedRunResult:
     #: Wire-level accounting folded from the cluster's transfer log
     #: (every message of the run went through one WireMessage build).
     transfers: Optional[TransferSummary] = None
+    #: Node 0's final parameter vector — the replicated model state the
+    #: strategy-parity suite pins bit-exactly across refactors.
+    final_weights: Optional[np.ndarray] = None
+    #: Strategy-specific summary (staleness samples, sync rounds, ...).
+    report: Optional[StrategyReport] = None
+    #: Every worker's per-iteration losses flattened in completion
+    #: order — meaningful for asynchronous strategies where ``losses``'
+    #: per-iteration means average across drifting workers.
+    loss_order: List[float] = field(default_factory=list)
 
     @property
     def communication_fraction(self) -> float:
@@ -90,6 +93,91 @@ class DistributedRunResult:
         if total == 0.0:
             return {name: 0.0 for name in self.phase_seconds}
         return {name: t / total for name, t in self.phase_seconds.items()}
+
+
+@register_strategy
+class RingStrategy(GradientStrategy):
+    """INCEPTIONN's aggregator-free ring (Algorithm 1, paper Fig 1b)."""
+
+    name = "ring"
+    description = (
+        "Gradient-centric ring reduce-scatter + all-gather; every hop "
+        "carries gradients, so every hop compresses."
+    )
+
+    def exchange(
+        self, node: NodeContext, iteration: int, gradient: np.ndarray
+    ) -> Generator[Event, Any, StrategyUpdate]:
+        aggregate = yield from ring_exchange(
+            node.endpoint,
+            gradient,
+            node.num_workers,
+            profile=node.profile,
+            stream=node.stream,
+        )
+        if node.node_id == 0:
+            # Each node reduces (N-1)/N of the vector during P1.
+            n = node.num_workers
+            sum_dt = node.profile.sum_time(
+                int(gradient.nbytes * (n - 1) / n)
+            )
+            node.run.account("gradient_sum", sum_dt, node=node.node_id)
+        return StrategyUpdate(gradient=aggregate)
+
+
+@register_strategy
+class WorkerAggregatorStrategy(GradientStrategy):
+    """The conventional worker-aggregator baseline (paper Fig 1a/2)."""
+
+    name = "wa"
+    description = (
+        "Workers push gradients to one aggregator that owns the "
+        "canonical optimizer and broadcasts weights back."
+    )
+    #: The aggregator pays the update; workers just install weights.
+    worker_applies_update = False
+
+    def extra_nodes(
+        self, num_workers: int, options: Mapping[str, Any]
+    ) -> int:
+        return 1  # the aggregator node
+
+    def setup(self, run: StrategyRun) -> None:
+        self._aggregator_id = run.num_workers
+        run.comm.spawn(self._aggregator(run))
+
+    def _aggregator(
+        self, run: StrategyRun
+    ) -> Generator[Event, Any, None]:
+        agg_id = self._aggregator_id
+        ep = run.comm.endpoints[agg_id]
+        agg_net = run.build_net(run.seed)
+        agg_opt = run.make_optimizer()
+        workers = list(range(run.num_workers))
+
+        def apply_update(total_grad: np.ndarray) -> np.ndarray:
+            agg_opt.step_with_vector(agg_net, total_grad)
+            return agg_net.parameter_vector()
+
+        for _ in range(run.iterations):
+            yield from aggregator_exchange(
+                ep, workers, apply_update, profile=run.profile
+            )
+            sum_dt = run.profile.sum_time(
+                agg_net.nbytes * (run.num_workers - 1)
+            )
+            run.account("gradient_sum", sum_dt, node=agg_id)
+            run.account("update", run.profile.update_s, node=agg_id)
+
+    def exchange(
+        self, node: NodeContext, iteration: int, gradient: np.ndarray
+    ) -> Generator[Event, Any, StrategyUpdate]:
+        weights = yield from worker_exchange(
+            node.endpoint, self._aggregator_id, gradient, stream=node.stream
+        )
+        # Keep local optimizer iteration counters aligned with the
+        # aggregator's LR schedule.
+        return StrategyUpdate(weights=weights, sync_optimizer_iteration=True)
 
 
 def train_distributed(
@@ -120,253 +208,25 @@ def train_distributed(
     In the WA baseline only the gradient (up) leg can compress — weights
     are loss-intolerant (paper Fig 4) — while the ring compresses every
     hop.
+
+    Compatibility wrapper over :func:`repro.distributed.strategy.run_strategy`
+    with the two original algorithm names.
     """
     if algorithm not in ("wa", "ring"):
         raise ValueError(f"unknown algorithm {algorithm!r}")
-    if num_workers < 2:
-        raise ValueError("distributed training needs at least two workers")
-    num_nodes = num_workers + 1 if algorithm == "wa" else num_workers
-    config = cluster or ClusterConfig(num_nodes=num_nodes, profile=stream)
-    if config.num_nodes != num_nodes:
-        raise ValueError(
-            f"cluster config has {config.num_nodes} nodes, run needs {num_nodes}"
-        )
-    comm = ClusterComm(config, tracer=tracer)
-    if stream is None and compress_gradients:
-        stream = comm.default_profile
-
-    # Identical replicas: every worker builds from the same seed.
-    trainers = [
-        LocalTrainer(
-            net=build_net(seed),
-            optimizer=make_optimizer(),
-            dataset=dataset.shard(i, num_workers),
-            batch_size=batch_size,
-            seed=seed + 1000 * i,
-        )
-        for i in range(num_workers)
-    ]
-
-    losses: List[List[float]] = [[] for _ in range(iterations)]
-    eval_top1: List[float] = []
-    phase = {name: 0.0 for name in PHASE_NAMES}
-
-    def account_compute() -> None:
-        phase["forward"] += profile.forward_s
-        phase["backward"] += profile.backward_s
-        phase["gpu_copy"] += profile.gpu_copy_s
-
-    if algorithm == "ring":
-        _spawn_ring_processes(
-            comm,
-            trainers,
-            iterations,
-            profile,
-            stream,
-            losses,
-            phase,
-            account_compute,
-            eval_every,
-            eval_top1,
-            tracer,
-        )
-    else:
-        _spawn_wa_processes(
-            comm,
-            trainers,
-            make_optimizer,
-            build_net,
-            seed,
-            iterations,
-            profile,
-            stream,
-            losses,
-            phase,
-            account_compute,
-            eval_every,
-            eval_top1,
-            tracer,
-        )
-
-    total_time = comm.run()
-
-    # Residual accounting: everything not attributed to a compute phase
-    # on the per-iteration critical path is communication (Table II's
-    # "Communicate" row is exactly this residual in the paper's harness).
-    # With a tracer attached the breakdown is rebuilt from the recorded
-    # phase spans — the trace is the authoritative record.
-    if tracer is not None:
-        phase = phase_seconds_from_trace(tracer, total_time)
-    else:
-        attributed = sum(phase.values())
-        phase["communicate"] = max(0.0, total_time - attributed)
-
-    if eval_every:
-        # Checkpoint accuracies are recorded by worker 0 during the run.
-        pass
-    top1, top5 = trainers[0].evaluate()
-
-    return DistributedRunResult(
-        algorithm=algorithm,
+    return run_strategy(
+        algorithm,
+        build_net=build_net,
+        make_optimizer=make_optimizer,
+        dataset=dataset,
         num_workers=num_workers,
         iterations=iterations,
-        losses=[float(np.mean(l)) for l in losses],
-        final_top1=top1,
-        final_top5=top5,
-        virtual_time_s=total_time,
-        phase_seconds=phase,
-        eval_top1=eval_top1,
-        transfers=comm.transfer_summary(),
+        batch_size=batch_size,
+        cluster=cluster,
+        profile=profile,
+        compress_gradients=compress_gradients,
+        stream=stream,
+        eval_every=eval_every,
+        tracer=tracer,
+        seed=seed,
     )
-
-
-def _spawn_ring_processes(
-    comm: ClusterComm,
-    trainers: List[LocalTrainer],
-    iterations: int,
-    profile: ComputeProfile,
-    stream: Optional[StreamProfile],
-    losses: List[List[float]],
-    phase: Dict[str, float],
-    account_compute: Callable[[], None],
-    eval_every: Optional[int],
-    eval_top1: List[float],
-    tracer: Optional[Tracer] = None,
-) -> None:
-    num_workers = len(trainers)
-
-    def worker(i: int):
-        ep = comm.endpoints[i]
-        trainer = trainers[i]
-        for iteration in range(iterations):
-            compute_start = comm.sim.now
-            if profile.local_compute_s:
-                yield comm.sim.timeout(profile.local_compute_s)
-            if i == 0:
-                account_compute()
-                if tracer is not None:
-                    record_compute_phases(tracer, profile, compute_start, i)
-            loss, grad = trainer.local_gradient()
-            losses[iteration].append(loss)
-            aggregate = yield from ring_exchange(
-                ep,
-                grad,
-                num_workers,
-                profile=profile,
-                stream=stream,
-            )
-            if i == 0:
-                # Each node reduces (N-1)/N of the vector during P1.
-                sum_dt = profile.sum_time(
-                    int(grad.nbytes * (num_workers - 1) / num_workers)
-                )
-                phase["gradient_sum"] += sum_dt
-                if tracer is not None and sum_dt:
-                    tracer.span(
-                        "gradient_sum",
-                        cat=CAT_PHASE,
-                        ts=comm.sim.now,
-                        dur=sum_dt,
-                        node=i,
-                    )
-            update_start = comm.sim.now
-            if profile.update_s:
-                yield comm.sim.timeout(profile.update_s)
-            if i == 0:
-                phase["update"] += profile.update_s
-                if tracer is not None and profile.update_s:
-                    tracer.span(
-                        "update",
-                        cat=CAT_PHASE,
-                        ts=update_start,
-                        dur=profile.update_s,
-                        node=i,
-                    )
-            trainer.apply_gradient(aggregate)
-            if i == 0 and eval_every and (iteration + 1) % eval_every == 0:
-                eval_top1.append(trainer.evaluate()[0])
-
-    for i in range(num_workers):
-        comm.sim.process(worker(i))
-
-
-def _spawn_wa_processes(
-    comm: ClusterComm,
-    trainers: List[LocalTrainer],
-    make_optimizer: Callable[[], SGD],
-    build_net: Callable[[int], Sequential],
-    seed: int,
-    iterations: int,
-    profile: ComputeProfile,
-    stream: Optional[StreamProfile],
-    losses: List[List[float]],
-    phase: Dict[str, float],
-    account_compute: Callable[[], None],
-    eval_every: Optional[int],
-    eval_top1: List[float],
-    tracer: Optional[Tracer] = None,
-) -> None:
-    num_workers = len(trainers)
-    aggregator_id = num_workers
-    agg_net = build_net(seed)
-    agg_opt = make_optimizer()
-
-    def worker(i: int):
-        ep = comm.endpoints[i]
-        trainer = trainers[i]
-        for iteration in range(iterations):
-            compute_start = comm.sim.now
-            if profile.local_compute_s:
-                yield comm.sim.timeout(profile.local_compute_s)
-            if i == 0:
-                account_compute()
-                if tracer is not None:
-                    record_compute_phases(tracer, profile, compute_start, i)
-            loss, grad = trainer.local_gradient()
-            losses[iteration].append(loss)
-            weights = yield from worker_exchange(
-                ep, aggregator_id, grad, stream=stream
-            )
-            trainer.net.set_parameter_vector(weights)
-            # Keep local optimizer iteration counters aligned with the
-            # aggregator's LR schedule.
-            trainer.optimizer.iteration += 1
-            if i == 0 and eval_every and (iteration + 1) % eval_every == 0:
-                eval_top1.append(trainer.evaluate()[0])
-
-    def aggregator():
-        ep = comm.endpoints[aggregator_id]
-        workers = list(range(num_workers))
-
-        def apply_update(total_grad: np.ndarray) -> np.ndarray:
-            agg_opt.step_with_vector(agg_net, total_grad)
-            return agg_net.parameter_vector()
-
-        for iteration in range(iterations):
-            yield from aggregator_exchange(
-                ep, workers, apply_update, profile=profile
-            )
-            sum_dt = profile.sum_time(agg_net.nbytes * (num_workers - 1))
-            phase["gradient_sum"] += sum_dt
-            phase["update"] += profile.update_s
-            if tracer is not None:
-                if sum_dt:
-                    tracer.span(
-                        "gradient_sum",
-                        cat=CAT_PHASE,
-                        ts=comm.sim.now,
-                        dur=sum_dt,
-                        node=aggregator_id,
-                    )
-                if profile.update_s:
-                    tracer.span(
-                        "update",
-                        cat=CAT_PHASE,
-                        ts=comm.sim.now,
-                        dur=profile.update_s,
-                        node=aggregator_id,
-                    )
-
-    for i in range(num_workers):
-        comm.sim.process(worker(i))
-    comm.sim.process(aggregator())

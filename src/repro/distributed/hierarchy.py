@@ -6,6 +6,10 @@ group ring-aggregates its members' gradients, the group leaders form a
 second-level ring over the group-aggregated gradients, and leaders then
 broadcast the global aggregate back into their groups.  Every leg is a
 *gradient* leg, so everything stays compressible.
+
+The schedule is a :class:`~repro.distributed.strategy.GradientStrategy`
+plugin (``"hierarchy"``); ``train_hierarchical`` wraps the shared
+driver.
 """
 
 from __future__ import annotations
@@ -17,11 +21,19 @@ import numpy as np
 
 from repro.core import StreamProfile
 from repro.network import Event
-from repro.obs import CAT_HIER, CAT_PHASE, Tracer
+from repro.obs import CAT_HIER, Tracer
 from repro.transport.endpoint import ClusterComm
 
 from .node import ComputeProfile
 from .ring import ring_exchange
+from .strategy import (
+    GradientStrategy,
+    NodeContext,
+    StrategyRun,
+    StrategyUpdate,
+    register_strategy,
+    run_strategy,
+)
 
 if TYPE_CHECKING:
     from repro.dnn.data import Dataset
@@ -51,6 +63,10 @@ class GroupLayout:
             for start in range(0, num_nodes, group_size)
         )
         return cls(groups=groups)
+
+    @property
+    def num_nodes(self) -> int:
+        return sum(len(group) for group in self.groups)
 
     @property
     def leaders(self) -> "tuple[int, ...]":
@@ -177,6 +193,42 @@ def hierarchical_exchange(
     return global_sum
 
 
+@register_strategy
+class HierarchyStrategy(GradientStrategy):
+    """Two-level ring-of-rings schedule (paper Fig 1c)."""
+
+    name = "hierarchy"
+    description = (
+        "Leaf-group rings, a leader ring over group sums, and a "
+        "gradient broadcast back — all legs compressible."
+    )
+
+    def setup(self, run: StrategyRun) -> None:
+        layout = run.options.get("layout")
+        if layout is None:
+            group_size = int(run.options.get("group_size", 2))
+            layout = GroupLayout.even(run.num_workers, group_size)
+        if layout.num_nodes != run.num_workers:
+            raise ValueError(
+                f"layout covers {layout.num_nodes} nodes, "
+                f"run has {run.num_workers} workers"
+            )
+        self._layout = layout
+
+    def exchange(
+        self, node: NodeContext, iteration: int, gradient: np.ndarray
+    ) -> Generator[Event, Any, StrategyUpdate]:
+        aggregate = yield from hierarchical_exchange(
+            node.comm,
+            node.node_id,
+            gradient,
+            self._layout,
+            profile=node.profile,
+            stream=node.stream,
+        )
+        return StrategyUpdate(gradient=aggregate)
+
+
 def train_hierarchical(
     build_net: "Callable[[int], Sequential]",
     make_optimizer: "Callable[[], SGD]",
@@ -195,82 +247,26 @@ def train_hierarchical(
 
     Mirrors :func:`repro.distributed.cluster.train_distributed` for the
     hierarchical organization; returns the same result type with
-    ``algorithm == "hier"``.  ``compress_gradients`` resolves to the
-    cluster's default profile when no explicit ``stream`` is given.
-    """
-    from repro.dnn.training import LocalTrainer
-    from repro.transport.endpoint import ClusterComm, ClusterConfig
+    ``algorithm == "hierarchy"``.  ``compress_gradients`` resolves to
+    the cluster's default profile when no explicit ``stream`` is given.
 
-    from .cluster import DistributedRunResult, PHASE_NAMES, record_compute_phases
+    Compatibility wrapper over the ``"hierarchy"`` strategy plugin.
+    """
     from .node import ZERO_COMPUTE
 
-    profile = profile or ZERO_COMPUTE
-    num_nodes = sum(len(g) for g in layout.groups)
-    config = cluster or ClusterConfig(num_nodes=num_nodes, profile=stream)
-    if config.num_nodes != num_nodes:
-        raise ValueError("cluster config node count must match the layout")
-    comm = ClusterComm(config, tracer=tracer)
-    if stream is None and compress_gradients:
-        stream = comm.default_profile
-
-    trainers = [
-        LocalTrainer(
-            net=build_net(seed),
-            optimizer=make_optimizer(),
-            dataset=dataset.shard(i, num_nodes),
-            batch_size=batch_size,
-            seed=seed + 1000 * i,
-        )
-        for i in range(num_nodes)
-    ]
-    losses = [[] for _ in range(iterations)]
-    phase = {name: 0.0 for name in PHASE_NAMES}
-
-    def worker(i: int):
-        trainer = trainers[i]
-        for iteration in range(iterations):
-            compute_start = comm.sim.now
-            if profile.local_compute_s:
-                yield comm.sim.timeout(profile.local_compute_s)
-            if i == 0:
-                phase["forward"] += profile.forward_s
-                phase["backward"] += profile.backward_s
-                phase["gpu_copy"] += profile.gpu_copy_s
-                if tracer is not None:
-                    record_compute_phases(tracer, profile, compute_start, i)
-            loss, grad = trainer.local_gradient()
-            losses[iteration].append(loss)
-            aggregate = yield from hierarchical_exchange(
-                comm, i, grad, layout, profile=profile, stream=stream
-            )
-            update_start = comm.sim.now
-            if profile.update_s:
-                yield comm.sim.timeout(profile.update_s)
-            if i == 0:
-                phase["update"] += profile.update_s
-                if tracer is not None:
-                    tracer.span(
-                        "update",
-                        cat=CAT_PHASE,
-                        ts=update_start,
-                        dur=profile.update_s,
-                        node=i,
-                    )
-            trainer.apply_gradient(aggregate)
-
-    for i in range(num_nodes):
-        comm.sim.process(worker(i))
-    total = comm.run()
-    phase["communicate"] = max(0.0, total - sum(phase.values()))
-    top1, top5 = trainers[0].evaluate()
-    return DistributedRunResult(
-        algorithm="hier",
-        num_workers=num_nodes,
+    return run_strategy(
+        "hierarchy",
+        build_net=build_net,
+        make_optimizer=make_optimizer,
+        dataset=dataset,
+        num_workers=layout.num_nodes,
         iterations=iterations,
-        losses=[float(np.mean(l)) for l in losses],
-        final_top1=top1,
-        final_top5=top5,
-        virtual_time_s=total,
-        phase_seconds=phase,
-        transfers=comm.transfer_summary(),
+        batch_size=batch_size,
+        cluster=cluster,
+        profile=profile or ZERO_COMPUTE,
+        compress_gradients=compress_gradients,
+        stream=stream,
+        tracer=tracer,
+        seed=seed,
+        options={"layout": layout},
     )

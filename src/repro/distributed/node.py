@@ -3,11 +3,28 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
 
 from repro.obs import CAT_PHASE, Tracer
+
+#: Spawn-key stream tags: one reserved lane per independent per-node
+#: random stream.  Keys are ``(seed, node, stream)`` sequences fed to
+#: ``np.random.default_rng`` — unlike the old ``seed + 1000 * i`` /
+#: ``seed + 77`` arithmetic, nearby seeds can never collide with other
+#: workers' streams (SeedSequence hashes the whole key).
+DATA_STREAM = 0
+JITTER_STREAM = 1
+
+
+def spawn_key(seed: int, node: int, stream: int = DATA_STREAM) -> Tuple[int, int, int]:
+    """Collision-free RNG spawn key for one node's random stream.
+
+    Every RNG in :mod:`repro.distributed` derives from one of these via
+    ``np.random.default_rng(spawn_key(seed, node, stream))``.
+    """
+    return (seed, node, stream)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,517 @@
+"""Pluggable gradient-exchange strategies over one shared training driver.
+
+Every distributed algorithm in this repo — the INCEPTIONN ring, the
+worker-aggregator baseline, the asynchronous parameter server, the
+hierarchical rings, and the communication-avoiding variants — is the
+same outer loop with a different answer to one question: *what happens
+to the local gradient between backward and update?*  This module owns
+the outer loop exactly once:
+
+* :class:`GradientStrategy` — the plugin protocol.  A strategy declares
+  how many service nodes it needs (:meth:`~GradientStrategy.extra_nodes`),
+  spawns them in :meth:`~GradientStrategy.setup`, and implements the
+  per-iteration :meth:`~GradientStrategy.exchange` generator that turns
+  a local gradient into a :class:`StrategyUpdate`.
+* :data:`STRATEGIES` — a registry mirroring the codec registry in
+  :mod:`repro.core.registry`; plugins self-register at import time with
+  :func:`register_strategy`.
+* :func:`run_strategy` — the one driver that owns process spawning,
+  :class:`~repro.distributed.node.ComputeProfile` accounting, tracing
+  spans, and :class:`~repro.transport.endpoint.TransferSummary`
+  assembly.  Strategy plugins never touch those concerns.
+
+The driver's per-iteration event sequence is bit-compatible with the
+four hand-rolled spawn loops it replaced — the strategy-parity suite
+pins final weights (sha256) and wire bytes against recordings of the
+pre-refactor implementations.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Type,
+    Union,
+)
+
+import numpy as np
+
+from repro.core import StreamProfile
+from repro.dnn.data import Dataset
+from repro.dnn.metrics import top1_accuracy, top5_accuracy
+from repro.dnn.network import Sequential
+from repro.dnn.optim import SGD
+from repro.dnn.training import LocalTrainer
+from repro.network import Event
+from repro.obs import CAT_PHASE, CAT_STRATEGY, Tracer
+from repro.transport.endpoint import ClusterComm, ClusterConfig, Endpoint
+
+from .node import (
+    ComputeProfile,
+    JITTER_STREAM,
+    ZERO_COMPUTE,
+    record_compute_phases,
+    spawn_key,
+)
+
+#: The Table II phase names, in the paper's row order.
+PHASE_NAMES = (
+    "forward",
+    "backward",
+    "gpu_copy",
+    "gradient_sum",
+    "communicate",
+    "update",
+)
+
+
+def phases_with_residual(
+    totals: Mapping[str, float], total_s: float
+) -> Dict[str, float]:
+    """Fold attributed phase totals into the Table II dict.
+
+    Every named compute phase keeps its attributed total; whatever part
+    of ``total_s`` is left is ``communicate`` — the same residual
+    accounting the paper's harness uses.  Shared by the driver and
+    :mod:`repro.perfmodel.breakdown` so the two never drift.
+    """
+    phases = {name: float(totals.get(name, 0.0)) for name in PHASE_NAMES}
+    attributed = sum(
+        phases[name] for name in PHASE_NAMES if name != "communicate"
+    )
+    phases["communicate"] = max(0.0, total_s - attributed)
+    return phases
+
+
+def phase_seconds_from_trace(
+    tracer: Tracer, total_s: float
+) -> Dict[str, float]:
+    """Rebuild the Table II phase dict from recorded ``phase`` spans.
+
+    Every attributed phase is the sum of its span durations; the
+    residual of the run's total time is ``communicate`` — with a tracer
+    attached, the trace is the authoritative record.
+    """
+    return phases_with_residual(tracer.phase_totals(), total_s)
+
+
+@dataclass(frozen=True)
+class StrategyUpdate:
+    """What one exchange tells the driver to do to the local replica.
+
+    ``gradient`` goes through the worker's own optimizer
+    (``apply_gradient``); ``weights`` overwrite the replica's parameter
+    vector; ``sync_optimizer_iteration`` bumps the local iteration
+    counter so LR schedules stay aligned when a service node owns the
+    canonical optimizer.  Fields compose (gradient first, then weights).
+    """
+
+    gradient: Optional[np.ndarray] = None
+    weights: Optional[np.ndarray] = None
+    sync_optimizer_iteration: bool = False
+
+
+@dataclass
+class StrategyReport:
+    """Per-strategy summary returned by :meth:`GradientStrategy.finalize`."""
+
+    strategy: str
+    #: Free-form per-strategy results (staleness samples, sync rounds,
+    #: ...) accumulated in :attr:`StrategyRun.extras` during the run.
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class StrategyRun:
+    """Shared state of one driven run, handed to every strategy hook."""
+
+    strategy: "GradientStrategy"
+    comm: ClusterComm
+    num_workers: int
+    iterations: int
+    trainers: List[LocalTrainer]
+    dataset: Dataset
+    build_net: Callable[[int], Sequential]
+    make_optimizer: Callable[[], SGD]
+    profile: ComputeProfile
+    stream: Optional[StreamProfile]
+    tracer: Optional[Tracer]
+    seed: int
+    options: Mapping[str, Any]
+    eval_every: Optional[int] = None
+    #: Per-iteration loss lists (one entry per worker per iteration).
+    losses: List[List[float]] = field(default_factory=list)
+    #: Flat losses in completion order — what asynchronous strategies
+    #: report, where "iteration i" means different times per worker.
+    loss_order: List[float] = field(default_factory=list)
+    eval_top1: List[float] = field(default_factory=list)
+    phase: Dict[str, float] = field(default_factory=dict)
+    #: Scratch space for strategy results, folded into StrategyReport.
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def node(self, node_id: int) -> "NodeContext":
+        return NodeContext(
+            node_id=node_id,
+            endpoint=self.comm.endpoints[node_id],
+            trainer=self.trainers[node_id],
+            run=self,
+        )
+
+    def record_loss(self, iteration: int, loss: float) -> None:
+        self.losses[iteration].append(loss)
+        self.loss_order.append(loss)
+
+    def account(
+        self,
+        name: str,
+        seconds: float,
+        node: int,
+        ts: Optional[float] = None,
+    ) -> None:
+        """Attribute ``seconds`` to a Table II phase (and span it).
+
+        The one accounting entry point for driver and strategies alike:
+        updates the inline phase dict and, with a tracer attached, emits
+        the matching ``phase`` span so trace-derived breakdowns agree
+        with the inline sums exactly.
+        """
+        self.phase[name] = self.phase.get(name, 0.0) + seconds
+        if self.tracer is not None and seconds:
+            self.tracer.span(
+                name,
+                cat=CAT_PHASE,
+                ts=self.comm.now if ts is None else ts,
+                dur=seconds,
+                node=node,
+            )
+
+    def account_local_compute(self, ts: float, node: int) -> None:
+        """Attribute one forward/backward/gpu_copy block (nominal times)."""
+        self.phase["forward"] = (
+            self.phase.get("forward", 0.0) + self.profile.forward_s
+        )
+        self.phase["backward"] = (
+            self.phase.get("backward", 0.0) + self.profile.backward_s
+        )
+        self.phase["gpu_copy"] = (
+            self.phase.get("gpu_copy", 0.0) + self.profile.gpu_copy_s
+        )
+        if self.tracer is not None:
+            record_compute_phases(self.tracer, self.profile, ts, node)
+
+
+@dataclass
+class NodeContext:
+    """One worker's view of the run, handed to ``exchange``."""
+
+    node_id: int
+    endpoint: Endpoint
+    trainer: LocalTrainer
+    run: StrategyRun
+
+    @property
+    def comm(self) -> ClusterComm:
+        return self.run.comm
+
+    @property
+    def num_workers(self) -> int:
+        return self.run.num_workers
+
+    @property
+    def profile(self) -> ComputeProfile:
+        return self.run.profile
+
+    @property
+    def stream(self) -> Optional[StreamProfile]:
+        return self.run.stream
+
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        return self.run.tracer
+
+
+class GradientStrategy(abc.ABC):
+    """One gradient-synchronization discipline, pluggable into the driver.
+
+    Subclasses set ``name``/``description`` class attributes, implement
+    :meth:`exchange`, and optionally override the service hooks.  One
+    instance serves one run — strategies may keep per-run state on
+    ``self`` after :meth:`setup`.
+    """
+
+    #: Registry key (``repro train --strategy <name>``).
+    name: str = ""
+    #: One-line summary for ``repro strategies``.
+    description: str = ""
+    #: Whether workers pay ``profile.update_s`` locally each iteration.
+    #: Server-centric strategies (the service node owns the optimizer)
+    #: set this False and account the update at the server instead.
+    worker_applies_update: bool = True
+
+    def extra_nodes(
+        self, num_workers: int, options: Mapping[str, Any]
+    ) -> int:
+        """Service nodes beyond the workers (aggregator, server, ...)."""
+        return 0
+
+    def setup(self, run: StrategyRun) -> None:
+        """Validate options and spawn service processes via ``run.comm``."""
+
+    def iteration_gate(
+        self, node: NodeContext, iteration: int
+    ) -> Optional[Event]:
+        """Event the worker must wait on before computing, or ``None``."""
+        return None
+
+    @abc.abstractmethod
+    def exchange(
+        self, node: NodeContext, iteration: int, gradient: np.ndarray
+    ) -> Generator[Event, Any, StrategyUpdate]:
+        """Turn one local gradient into the replica's next update.
+
+        A simulation-process generator: every yielded event advances the
+        virtual clock.  All workers run it concurrently.
+        """
+
+    def after_apply(self, node: NodeContext, iteration: int) -> None:
+        """Hook after the driver installed the update (progress marks)."""
+
+    def final_model(self, run: StrategyRun) -> Sequential:
+        """The network evaluated and pinned as the run's outcome."""
+        return run.trainers[0].net
+
+    def finalize(self, run: StrategyRun) -> StrategyReport:
+        """Fold per-run scratch state into the report."""
+        return StrategyReport(strategy=self.name, extras=dict(run.extras))
+
+
+#: Registered strategies, keyed by name (the codec-registry pattern).
+STRATEGIES: Dict[str, Type[GradientStrategy]] = {}
+
+
+def register_strategy(cls: Type[GradientStrategy]) -> Type[GradientStrategy]:
+    """Class decorator: add a :class:`GradientStrategy` to the registry.
+
+    Idempotent re-registration of the same class is allowed (module
+    reloads); a *different* class under an existing name is an error.
+    """
+    name = cls.name
+    if not name:
+        raise ValueError(f"{cls.__name__} must set a non-empty name")
+    existing = STRATEGIES.get(name)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"strategy {name!r} is already registered")
+    STRATEGIES[name] = cls
+    return cls
+
+
+def available_strategies() -> Tuple[str, ...]:
+    """Registered strategy names, sorted."""
+    return tuple(sorted(STRATEGIES))
+
+
+def get_strategy(name: str) -> GradientStrategy:
+    """Instantiate a registered strategy by name."""
+    try:
+        cls = STRATEGIES[name]
+    except KeyError:
+        known = ", ".join(available_strategies()) or "none"
+        raise ValueError(
+            f"unknown strategy {name!r} (available: {known})"
+        ) from None
+    return cls()
+
+
+def _worker_process(
+    run: StrategyRun, strategy: GradientStrategy, node_id: int
+) -> Generator[Event, Any, None]:
+    """The one training loop every strategy's workers execute."""
+    node = run.node(node_id)
+    trainer = node.trainer
+    comm = run.comm
+    profile = run.profile
+    tracer = run.tracer
+    jitter = float(run.options.get("compute_jitter", 0.0) or 0.0)
+    jitter_rng = (
+        np.random.default_rng(spawn_key(run.seed, node_id, JITTER_STREAM))
+        if jitter
+        else None
+    )
+
+    for iteration in range(run.iterations):
+        gate = strategy.iteration_gate(node, iteration)
+        if gate is not None:
+            yield gate
+        compute_start = comm.now
+        compute = profile.local_compute_s
+        if compute and jitter_rng is not None:
+            compute *= 1.0 + jitter * (2 * jitter_rng.random() - 1)
+        if compute:
+            yield comm.timeout(compute)
+        if node_id == 0:
+            run.account_local_compute(compute_start, node_id)
+        loss, grad = trainer.local_gradient()
+        run.record_loss(iteration, loss)
+
+        exchange_start = comm.now
+        update = yield from strategy.exchange(node, iteration, grad)
+        if tracer is not None:
+            tracer.span(
+                "strategy.exchange",
+                cat=CAT_STRATEGY,
+                ts=exchange_start,
+                dur=comm.now - exchange_start,
+                node=node_id,
+                strategy=strategy.name,
+                iteration=iteration,
+            )
+
+        if strategy.worker_applies_update:
+            update_start = comm.now
+            if profile.update_s:
+                yield comm.timeout(profile.update_s)
+            if node_id == 0:
+                run.account(
+                    "update", profile.update_s, node=node_id, ts=update_start
+                )
+        if update.gradient is not None:
+            trainer.apply_gradient(update.gradient)
+        if update.weights is not None:
+            trainer.net.set_parameter_vector(update.weights)
+        if update.sync_optimizer_iteration:
+            trainer.optimizer.iteration += 1
+        strategy.after_apply(node, iteration)
+        if (
+            node_id == 0
+            and run.eval_every
+            and (iteration + 1) % run.eval_every == 0
+        ):
+            run.eval_top1.append(trainer.evaluate()[0])
+
+
+def run_strategy(
+    strategy: "Union[str, GradientStrategy]",
+    build_net: Callable[[int], Sequential],
+    make_optimizer: Callable[[], SGD],
+    dataset: Dataset,
+    num_workers: int,
+    iterations: int,
+    batch_size: int,
+    cluster: Optional[ClusterConfig] = None,
+    profile: ComputeProfile = ZERO_COMPUTE,
+    compress_gradients: bool = False,
+    stream: Optional[StreamProfile] = None,
+    eval_every: Optional[int] = None,
+    tracer: Optional[Tracer] = None,
+    seed: int = 0,
+    options: Optional[Mapping[str, Any]] = None,
+) -> "DistributedRunResult":
+    """Train replicas of ``build_net(seed)`` under any registered strategy.
+
+    The single entry point behind ``train_distributed``,
+    ``train_hierarchical`` and ``train_async_ps``: builds the cluster,
+    seeds the trainers (collision-free spawn keys), drives one
+    :func:`_worker_process` per worker plus whatever service processes
+    the strategy spawns, and assembles the result — phase breakdown,
+    wire accounting, final weights — exactly once.
+
+    ``stream`` selects the codec profile of the gradient traffic;
+    ``compress_gradients`` is the deprecated boolean alias for the
+    cluster's default profile.  ``options`` is the strategy's keyword
+    namespace (``sync_period``, ``staleness_bound``, ``layout``,
+    ``compute_jitter``, ...).
+    """
+    from .cluster import DistributedRunResult
+
+    strat = get_strategy(strategy) if isinstance(strategy, str) else strategy
+    opts: Mapping[str, Any] = dict(options or {})
+    if num_workers < 2:
+        raise ValueError("distributed training needs at least two workers")
+    if iterations < 1:
+        raise ValueError("need at least one iteration")
+    num_nodes = num_workers + strat.extra_nodes(num_workers, opts)
+    config = cluster or ClusterConfig(num_nodes=num_nodes, profile=stream)
+    if config.num_nodes != num_nodes:
+        raise ValueError(
+            f"cluster config has {config.num_nodes} nodes, run needs {num_nodes}"
+        )
+    comm = ClusterComm(config, tracer=tracer)
+    if stream is None and compress_gradients:
+        stream = comm.default_profile
+
+    # Identical replicas: every worker builds from the same seed; data
+    # streams derive from collision-free spawn keys.
+    trainers = [
+        LocalTrainer(
+            net=build_net(seed),
+            optimizer=make_optimizer(),
+            dataset=dataset.shard(i, num_workers),
+            batch_size=batch_size,
+            seed=spawn_key(seed, i),
+        )
+        for i in range(num_workers)
+    ]
+
+    run = StrategyRun(
+        strategy=strat,
+        comm=comm,
+        num_workers=num_workers,
+        iterations=iterations,
+        trainers=trainers,
+        dataset=dataset,
+        build_net=build_net,
+        make_optimizer=make_optimizer,
+        profile=profile,
+        stream=stream,
+        tracer=tracer,
+        seed=seed,
+        options=opts,
+        eval_every=eval_every,
+        losses=[[] for _ in range(iterations)],
+        phase={name: 0.0 for name in PHASE_NAMES},
+    )
+    strat.setup(run)
+    for i in range(num_workers):
+        comm.spawn(_worker_process(run, strat, i))
+    total_time = comm.run()
+
+    # Residual accounting: everything not attributed to a compute phase
+    # on the per-iteration critical path is communication (Table II's
+    # "Communicate" row is exactly this residual in the paper's
+    # harness).  With a tracer attached the breakdown is rebuilt from
+    # the recorded phase spans — the trace is the authoritative record.
+    if tracer is not None:
+        phase = phase_seconds_from_trace(tracer, total_time)
+    else:
+        phase = phases_with_residual(run.phase, total_time)
+
+    net = strat.final_model(run)
+    logits = net.predict(dataset.test_x)
+    top1 = top1_accuracy(logits, dataset.test_y)
+    top5 = top5_accuracy(logits, dataset.test_y)
+    report = strat.finalize(run)
+
+    return DistributedRunResult(
+        algorithm=strat.name,
+        num_workers=num_workers,
+        iterations=iterations,
+        losses=[float(np.mean(l)) for l in run.losses],
+        final_top1=top1,
+        final_top5=top5,
+        virtual_time_s=total_time,
+        phase_seconds=phase,
+        eval_top1=run.eval_top1,
+        transfers=comm.transfer_summary(),
+        final_weights=net.parameter_vector(),
+        report=report,
+        loss_order=list(run.loss_order),
+    )

@@ -9,7 +9,7 @@ gradient-distribution and compression-statistics experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -43,7 +43,7 @@ class LocalTrainer:
         optimizer: SGD,
         dataset: Dataset,
         batch_size: int,
-        seed: int = 0,
+        seed: "int | Sequence[int]" = 0,
     ) -> None:
         if batch_size <= 0:
             raise ValueError("batch size must be positive")

@@ -23,6 +23,7 @@ from .tracer import (
     CAT_MESSAGE,
     CAT_PHASE,
     CAT_RING,
+    CAT_STRATEGY,
     PH_INSTANT,
     PH_SPAN,
     TraceEvent,
@@ -52,6 +53,7 @@ __all__ = [
     "CAT_MESSAGE",
     "CAT_PHASE",
     "CAT_RING",
+    "CAT_STRATEGY",
     "PH_INSTANT",
     "PH_SPAN",
     "load_trace",

@@ -41,6 +41,9 @@ CAT_HIER = "hier"
 CAT_ASYNC = "async"
 CAT_CODEC = "codec"
 CAT_PHASE = "phase"
+#: Strategy-driver events (one ``strategy.exchange`` span per worker
+#: iteration, plus strategy-specific sync/apply records).
+CAT_STRATEGY = "strategy"
 
 
 @dataclass

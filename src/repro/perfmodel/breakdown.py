@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.distributed.strategy import phases_with_residual
 from repro.dnn.models import PAPER_MODELS
 from repro.obs import Tracer
 
@@ -89,26 +90,18 @@ def simulated_breakdown(
     )
     # Exchange simulation interleaves compute/sum/update with transfers;
     # the attributed phases come from the recorded spans and the
-    # residual is Communicate (the paper harness's accounting).
-    totals = tracer.phase_totals()
-    forward = totals.get("forward", 0.0)
-    backward = totals.get("backward", 0.0)
-    gpu_copy = totals.get("gpu_copy", 0.0)
-    update = totals.get("update", 0.0)
-    gradient_sum = totals.get("gradient_sum", 0.0)
-    communicate = max(
-        0.0,
-        result.total_s - forward - backward - gpu_copy - update - gradient_sum,
-    )
+    # residual is Communicate — the same fold the strategy driver uses,
+    # shared so the two accountings can never drift.
+    phases = phases_with_residual(tracer.phase_totals(), result.total_s)
     return Breakdown(
         model=model_name,
         iterations=iterations,
-        forward=forward,
-        backward=backward,
-        gpu_copy=gpu_copy,
-        gradient_sum=gradient_sum,
-        communicate=communicate,
-        update=update,
+        forward=phases["forward"],
+        backward=phases["backward"],
+        gpu_copy=phases["gpu_copy"],
+        gradient_sum=phases["gradient_sum"],
+        communicate=phases["communicate"],
+        update=phases["update"],
     )
 
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, Generator, List, Optional, Sequence
 
 import numpy as np
 
@@ -203,6 +203,27 @@ class ClusterComm:
     def num_nodes(self) -> int:
         return self.config.num_nodes
 
+    # -- Strategy-agnostic process hooks -------------------------------
+    # The distributed strategy layer drives everything through these
+    # four, so algorithm plugins never reach into ``comm.sim`` directly.
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.sim.now
+
+    def spawn(self, generator: "Generator[Event, Any, Any]") -> None:
+        """Register a process generator with the simulation."""
+        self.sim.process(generator)
+
+    def timeout(self, delay: float) -> Event:
+        """An event that fires ``delay`` simulated seconds from now."""
+        return self.sim.timeout(delay)
+
+    def event(self) -> Event:
+        """A bare event for explicit signalling (gates, barriers)."""
+        return self.sim.event()
+
     def compression_active(self) -> bool:
         """Engines present on (all) NICs?"""
         return self.config.compression or self.config.profile is not None
@@ -233,6 +254,15 @@ class Endpoint:
         self._any_inbox: Optional[Store] = None
         #: When True, deliveries go to the shared recv_any() queue.
         self.promiscuous = False
+        #: Per-destination send sequence numbers (sender side).
+        self._send_seq: Dict[int, int] = {}
+        #: Per-source next expected sequence and the reorder buffer
+        #: (receiver side).  Retransmission can complete message k
+        #: *after* message k+1 of the same src->dst pair; releasing
+        #: deliveries in send order keeps the per-source FIFO contract
+        #: the synchronous exchanges depend on.
+        self._next_seq: Dict[int, int] = {}
+        self._reorder: Dict[int, Dict[int, object]] = {}
 
     def _inbox(self, src: int) -> Store:
         if self.promiscuous:
@@ -251,6 +281,20 @@ class Endpoint:
             self._any_queue().put((src, payload))
         else:
             self._inbox(src).put(payload)
+
+    def _deliver_ordered(self, src: int, seq: int, payload: object) -> None:
+        """Release completed messages to the inbox in send order."""
+        expected = self._next_seq.get(src, 0)
+        if seq != expected:
+            self._reorder.setdefault(src, {})[seq] = payload
+            return
+        self._deliver(src, payload)
+        expected += 1
+        buffered = self._reorder.get(src)
+        while buffered and expected in buffered:
+            self._deliver(src, buffered.pop(expected))
+            expected += 1
+        self._next_seq[src] = expected
 
     def _resolve_profile(
         self,
@@ -380,8 +424,12 @@ class Endpoint:
         event = self.comm.network.send_wire(msg, on_retransmit=retransmitted)
         receiver = self.comm.endpoints[msg.dst]
         rx_nic = self.comm.nics[msg.dst]
+        seq = self._send_seq.get(msg.dst, 0)
+        self._send_seq[msg.dst] = seq + 1
         event.add_callback(
-            lambda ev: receiver._deliver(msg.src, ev.value[0].deliver(rx_nic))
+            lambda ev: receiver._deliver_ordered(
+                msg.src, seq, ev.value[0].deliver(rx_nic)
+            )
         )
         return event
 

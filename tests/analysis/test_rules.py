@@ -10,6 +10,7 @@ from repro.analysis.rules.deprecated import DeprecatedApiRule
 from repro.analysis.rules.dtype import DtypeDisciplineRule
 from repro.analysis.rules.registry_tos import RegistryTosRule
 from repro.analysis.rules.retired import RetiredApiRule
+from repro.analysis.rules.strategy_calls import StrategyCallsRule
 
 
 def codes(findings):
@@ -498,5 +499,107 @@ class TestRetiredApi:
                 return ep.isend_message(msg)
             """,
             rules=[RetiredApiRule()],
+        )
+        assert findings == []
+
+
+STRATEGY_PLUGIN = """
+@register_strategy
+class RingStrategy(GradientStrategy):
+    name = "ring"
+
+    def exchange(self, node, iteration, gradient):
+        total = yield from ring_exchange(node.endpoint, gradient)
+        return total
+"""
+
+
+class TestStrategyCalls:
+    def test_plugin_module_may_call_exchange(self, lint_snippet):
+        findings = lint_snippet(
+            "distributed/cluster.py",
+            STRATEGY_PLUGIN,
+            rules=[StrategyCallsRule()],
+        )
+        assert findings == []
+
+    def test_flags_call_outside_plugin(self, lint_tree):
+        findings = lint_tree(
+            {
+                "repro/distributed/cluster.py": STRATEGY_PLUGIN,
+                "repro/perfmodel/bench.py": textwrap.dedent(
+                    """
+                    def bench(ep, grad):
+                        total = yield from ring_exchange(ep, grad)
+                        return total
+                    """
+                ),
+            },
+            rules=[StrategyCallsRule()],
+        )
+        assert codes(findings) == ["R7"]
+        assert "ring_exchange" in findings[0].message
+        assert findings[0].path.endswith("perfmodel/bench.py")
+
+    def test_primitive_layer_is_exempt(self, lint_tree):
+        # A module defining one exchange primitive may compose others
+        # (the hierarchical exchange runs ring exchanges per group).
+        findings = lint_tree(
+            {
+                "repro/distributed/cluster.py": STRATEGY_PLUGIN,
+                "repro/distributed/hier.py": textwrap.dedent(
+                    """
+                    def hierarchical_exchange(ep, grad, layout):
+                        part = yield from ring_exchange(ep, grad)
+                        return part
+                    """
+                ),
+            },
+            rules=[StrategyCallsRule()],
+        )
+        assert findings == []
+
+    def test_registration_call_form_counts_as_plugin(self, lint_snippet):
+        findings = lint_snippet(
+            "distributed/custom.py",
+            """
+            class MyStrategy(GradientStrategy):
+                def exchange(self, node, iteration, gradient):
+                    total = yield from worker_exchange(node.endpoint, gradient)
+                    return total
+
+            register_strategy(MyStrategy)
+            """,
+            rules=[StrategyCallsRule()],
+        )
+        assert findings == []
+
+    def test_no_registrations_means_no_checks(self, lint_snippet):
+        # Fixture subtrees without a strategy layer must not flag every
+        # exchange-like call.
+        findings = lint_snippet(
+            "perfmodel/bench.py",
+            """
+            def bench(ep, grad):
+                total = yield from ring_exchange(ep, grad)
+                return total
+            """,
+            rules=[StrategyCallsRule()],
+        )
+        assert findings == []
+
+    def test_suppression_comment_silences_r7(self, lint_tree):
+        findings = lint_tree(
+            {
+                "repro/distributed/cluster.py": STRATEGY_PLUGIN,
+                "repro/perfmodel/bench.py": textwrap.dedent(
+                    """
+                    def bench(ep, grad):
+                        total = yield from ring_exchange(ep, grad)  # repro-lint: disable=R7 bench harness
+                        return total
+                    """
+                ),
+            },
+            rules=[StrategyCallsRule()],
         )
         assert findings == []

@@ -24,7 +24,7 @@ def _run_hier(num_nodes=4, group_size=2, iterations=15, compression=False):
 
 def test_hierarchical_training_learns():
     result = _run_hier(iterations=30)
-    assert result.algorithm == "hier"
+    assert result.algorithm == "hierarchy"
     assert result.losses[-1] < result.losses[0]
     assert result.final_top1 > 0.5
 

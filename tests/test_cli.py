@@ -136,3 +136,56 @@ def test_trace_schema_prints_json(capsys):
     assert main(["trace", "schema"]) == 0
     schema = json.loads(capsys.readouterr().out)
     assert schema["title"].startswith("repro.trace")
+
+
+def test_strategies_lists_the_registry(capsys):
+    assert main(["strategies"]) == 0
+    out = capsys.readouterr().out
+    for name in ("ring", "wa", "async_ps", "hierarchy", "local_sgd",
+                 "stale_async"):
+        assert name in out
+    # Server-backed strategies advertise their extra node.
+    assert "4+1" in out
+
+
+def test_train_strategy_local_sgd(capsys):
+    assert main([
+        "train", "--strategy", "local_sgd", "--sync-period", "2",
+        "--iterations", "4", "--workers", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("local_sgd")
+    assert "2 sync rounds" in out
+
+
+def test_train_strategy_stale_async(capsys):
+    assert main([
+        "train", "--strategy", "stale_async", "--staleness", "1",
+        "--iterations", "3", "--workers", "2", "--jitter", "0.3",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("stale_async")
+    assert "mean staleness" in out
+
+
+def test_train_unknown_strategy_rejected():
+    with pytest.raises(SystemExit, match="unknown strategy"):
+        main(["train", "--strategy", "bogus", "--iterations", "2"])
+
+
+def test_train_legacy_algorithm_alias_still_works(capsys):
+    assert main([
+        "train", "--algorithm", "wa", "--iterations", "3", "--workers", "2",
+    ]) == 0
+    assert capsys.readouterr().out.startswith("wa")
+
+
+def test_train_lossy_run_defaults_to_retransmission(capsys):
+    # --loss-rate without an explicit --retransmit must imply the
+    # default policy: a synchronous exchange on a dropping fabric
+    # starves without retransmission.
+    assert main([
+        "train", "--strategy", "ring", "--iterations", "2", "--workers", "2",
+        "--loss-rate", "0.01",
+    ]) == 0
+    assert "top-1" in capsys.readouterr().out

@@ -1,0 +1,117 @@
+"""Record strategy-parity pins from the current tree.
+
+Run this against the *pre-refactor* implementations (the four
+hand-rolled spawn loops) to capture the constants that
+``tests/distributed/test_strategy_parity.py`` asserts the ported
+registry plugins reproduce: final weights (sha256 of node 0's parameter
+vector, bit-exact), wire bytes (exact), and virtual time (1e-6).
+
+Usage: PYTHONPATH=src python tools/record_strategy_pins.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.core import inceptionn_profile
+from repro.distributed import (
+    ComputeProfile,
+    GroupLayout,
+    train_async_ps,
+    train_distributed,
+    train_hierarchical,
+)
+from repro.dnn import LRSchedule, SGD, build_hdc, hdc_dataset
+from repro.transport import ClusterConfig
+
+PROFILE = ComputeProfile(
+    forward_s=1e-4,
+    backward_s=3e-4,
+    gpu_copy_s=5e-5,
+    update_s=2e-4,
+    sum_bandwidth_bps=10.4e9,
+)
+ITERATIONS = 8
+WORKERS = 4
+
+
+def _dataset():
+    return hdc_dataset(train_size=400, test_size=100, seed=0)
+
+
+def _common(compressed: bool):
+    stream = inceptionn_profile() if compressed else None
+    return dict(
+        build_net=lambda s: build_hdc(seed=s),
+        make_optimizer=lambda: SGD(LRSchedule(0.02), momentum=0.9),
+        dataset=_dataset(),
+        batch_size=16,
+        stream=stream,
+        seed=0,
+    ), stream
+
+
+def _pin(result) -> dict:
+    weights = result.final_weights
+    summary = result.transfers
+    return {
+        "weights_sha256": hashlib.sha256(weights.tobytes()).hexdigest(),
+        "weights_sum": float(weights.sum()),
+        "final_loss": float(result.losses[-1]),
+        "virtual_time_s": result.virtual_time_s,
+        "messages": summary.messages,
+        "nbytes": summary.nbytes,
+        "wire_payload_nbytes": summary.wire_payload_nbytes,
+    }
+
+
+def record() -> dict:
+    pins: dict = {}
+    for mode, compressed in (("raw", False), ("compressed", True)):
+        common, stream = _common(compressed)
+        pins[f"ring_{mode}"] = _pin(
+            train_distributed(
+                algorithm="ring",
+                num_workers=WORKERS,
+                iterations=ITERATIONS,
+                cluster=ClusterConfig(num_nodes=WORKERS, profile=stream),
+                profile=PROFILE,
+                **common,
+            )
+        )
+        pins[f"wa_{mode}"] = _pin(
+            train_distributed(
+                algorithm="wa",
+                num_workers=WORKERS,
+                iterations=ITERATIONS,
+                cluster=ClusterConfig(num_nodes=WORKERS + 1, profile=stream),
+                profile=PROFILE,
+                **common,
+            )
+        )
+        pins[f"hierarchy_{mode}"] = _pin(
+            train_hierarchical(
+                layout=GroupLayout.even(WORKERS, 2),
+                iterations=ITERATIONS,
+                cluster=ClusterConfig(num_nodes=WORKERS, profile=stream),
+                profile=PROFILE,
+                **common,
+            )
+        )
+        pins[f"async_ps_{mode}"] = _pin(
+            train_async_ps(
+                num_workers=WORKERS,
+                iterations_per_worker=ITERATIONS,
+                cluster=ClusterConfig(num_nodes=WORKERS + 1, profile=stream),
+                profile=PROFILE,
+                compute_jitter=0.5,
+                max_staleness=2,
+                **common,
+            )
+        )
+    return pins
+
+
+if __name__ == "__main__":
+    print(json.dumps(record(), indent=2))
