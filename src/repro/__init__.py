@@ -27,7 +27,8 @@ Quickstart::
     import numpy as np
     from repro import compress, decompress, ErrorBound
 
-    grads = (np.random.randn(1_000_000) * 0.01).astype(np.float32)
+    rng = np.random.default_rng(0)
+    grads = (rng.standard_normal(1_000_000) * 0.01).astype(np.float32)
     cg = compress(grads, ErrorBound(10))
     print(cg.compression_ratio)          # ~10-16x on gradient-shaped data
     restored = decompress(cg)            # max error < 2^-10

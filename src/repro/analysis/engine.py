@@ -257,6 +257,9 @@ class RuleProtocol:
     def applies_to(self, ctx: RuleContext) -> bool:  # pragma: no cover
         return True
 
+    def begin_file(self, ctx: RuleContext) -> None:
+        return None
+
     def finish(self, project: ProjectFacts, reporter: Reporter) -> None:
         return None
 
@@ -322,6 +325,8 @@ class LintRun:
                 active.append((rule, rule_ctx))
         if not active:
             return
+        for rule, rule_ctx in active:
+            rule.begin_file(rule_ctx)
         for node in ast.walk(ctx.tree):
             hook_name = f"visit_{type(node).__name__}"
             for rule, rule_ctx in active:

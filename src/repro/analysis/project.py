@@ -58,6 +58,14 @@ class ProjectFacts:
     #: Exchange-primitive name -> modules defining a function of that
     #: name (the primitive layer itself, exempt from R7).
     exchange_definers: Dict[str, Set[str]] = field(default_factory=dict)
+    #: module -> module-level names bound to set values (rule R10).
+    set_globals: Dict[str, Set[str]] = field(default_factory=dict)
+    #: Attribute names annotated ``Set[...]``/``FrozenSet[...]`` anywhere
+    #: in the project — iterating ``obj.<attr>`` is unordered (rule R10).
+    set_attrs: Set[str] = field(default_factory=set)
+    #: module -> module-level dict globals mutated by subscript store
+    #: (registries); listing them unsorted leaks insertion order (R10).
+    registry_globals: Dict[str, Set[str]] = field(default_factory=dict)
 
     @property
     def registered_names(self) -> Set[str]:
@@ -118,6 +126,114 @@ def _class_wire_name(node: ast.ClassDef) -> Optional[str]:
     return None
 
 
+#: Set-producing callables recognized statically.
+_SET_CALLS = {"set", "frozenset"}
+
+#: Annotation heads naming unordered collections.
+_SET_ANNOTATIONS = {
+    "Set",
+    "set",
+    "FrozenSet",
+    "frozenset",
+    "MutableSet",
+    "AbstractSet",
+}
+
+
+def is_set_expr(node: ast.AST) -> bool:
+    """True for expressions that statically evaluate to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        callee = _terminal_name(node.func)
+        if callee in _SET_CALLS:
+            return True
+        # ``a | b`` on sets is untypeable statically, but the named
+        # set-algebra methods are unambiguous.
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "union",
+            "intersection",
+            "difference",
+            "symmetric_difference",
+        ):
+            return True
+    return False
+
+
+def annotation_is_set(node: Optional[ast.expr]) -> bool:
+    """True when an annotation names an unordered collection type."""
+    if node is None:
+        return False
+    target = node.value if isinstance(node, ast.Subscript) else node
+    name = _terminal_name(target)
+    if name in _SET_ANNOTATIONS:
+        return True
+    # String annotations ("Set[str]") under ``from __future__ import
+    # annotations`` arrive as constants.
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        head = node.value.split("[", 1)[0].strip()
+        return head.rsplit(".", 1)[-1] in _SET_ANNOTATIONS
+    return False
+
+
+def _collect_ordering_facts(
+    facts: ProjectFacts, module: str, tree: ast.Module
+) -> None:
+    """Record set-valued globals/attrs and registry dicts for rule R10."""
+    set_names: Set[str] = set()
+    dict_names: Set[str] = set()
+    for stmt in tree.body:
+        target: Optional[ast.expr] = None
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            target, value = stmt.target, stmt.value
+            if isinstance(target, ast.Name) and annotation_is_set(
+                stmt.annotation
+            ):
+                set_names.add(target.id)
+        if not isinstance(target, ast.Name):
+            continue
+        if value is not None and is_set_expr(value):
+            set_names.add(target.id)
+        if isinstance(value, ast.Dict) or (
+            isinstance(value, ast.Call)
+            and _terminal_name(value.func) == "dict"
+        ):
+            dict_names.add(target.id)
+
+    mutated: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for tgt in targets:
+                if isinstance(tgt, ast.Subscript) and isinstance(
+                    tgt.value, ast.Name
+                ):
+                    mutated.add(tgt.value.id)
+        # Set-typed annotations taint the *attribute name* project-wide:
+        # class-body annotations (dataclass fields) carry Name targets,
+        # ``self.x: Set[...]`` assignments carry Attribute targets.
+        if isinstance(node, ast.AnnAssign) and annotation_is_set(
+            node.annotation
+        ):
+            if isinstance(node.target, ast.Name):
+                facts.set_attrs.add(node.target.id)
+            elif isinstance(node.target, ast.Attribute):
+                facts.set_attrs.add(node.target.attr)
+
+    if set_names:
+        facts.set_globals[module] = set_names
+    registries = dict_names & mutated
+    if registries:
+        facts.registry_globals[module] = registries
+
+
 def _resolve_tos(
     node: Optional[ast.expr],
     local_constants: Dict[str, int],
@@ -166,6 +282,7 @@ def collect_project_facts(
 
     for module, path, tree in modules:
         local_constants = per_module_constants[module]
+        _collect_ordering_facts(facts, module, tree)
         for node in ast.walk(tree):
             if isinstance(node, ast.ClassDef):
                 wire_name = _class_wire_name(node)

@@ -15,9 +15,13 @@ from .base import Rule
 from .bits import BitAccountingRule
 from .deprecated import DeprecatedApiRule
 from .dtype import DtypeDisciplineRule
+from .mutable_defaults import MutableDefaultsRule
+from .ordering import IterationOrderRule
 from .registry_tos import RegistryTosRule
 from .retired import RetiredApiRule
+from .rng import SeededRngRule
 from .strategy_calls import StrategyCallsRule
+from .wallclock import WallClockRule
 
 #: Every registered rule class, in code order.
 ALL_RULES: Sequence[Type[Rule]] = (
@@ -28,6 +32,10 @@ ALL_RULES: Sequence[Type[Rule]] = (
     AnnotationsRule,
     RetiredApiRule,
     StrategyCallsRule,
+    WallClockRule,
+    SeededRngRule,
+    IterationOrderRule,
+    MutableDefaultsRule,
 )
 
 
@@ -70,10 +78,14 @@ __all__ = [
     "BitAccountingRule",
     "DeprecatedApiRule",
     "DtypeDisciplineRule",
+    "IterationOrderRule",
+    "MutableDefaultsRule",
     "RegistryTosRule",
     "RetiredApiRule",
     "Rule",
+    "SeededRngRule",
     "StrategyCallsRule",
+    "WallClockRule",
     "default_rules",
     "rules_by_code",
     "select_rules",

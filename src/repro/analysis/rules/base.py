@@ -5,6 +5,8 @@ A rule is a class with:
 * ``code``/``name``/``description`` — identity (code for suppression
   comments and ``--select``, name for humans);
 * ``applies_to(ctx)`` — per-file gate (scope rules to packages here);
+* ``begin_file(ctx)`` — optional per-file setup before the node walk
+  (reset per-file state, pre-scan imports);
 * ``visit_<NodeType>(node, ctx)`` hooks — called for every matching AST
   node of every applicable file, with ``ctx.report(node, message)`` to
   emit findings (suppressions are applied by the engine);
@@ -30,6 +32,10 @@ class Rule:
 
     def applies_to(self, ctx: RuleContext) -> bool:
         return True
+
+    def begin_file(self, ctx: RuleContext) -> None:
+        """Per-file setup hook, called before the node walk starts."""
+        return None
 
     def finish(self, project: ProjectFacts, reporter: Reporter) -> None:
         return None

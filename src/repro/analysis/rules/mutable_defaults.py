@@ -1,0 +1,97 @@
+"""R11 — public functions must not use mutable default arguments.
+
+Default values evaluate once at ``def`` time and are shared by every
+call.  A ``trains=[]`` default silently accumulates state across calls
+— across *simulated nodes*, in this codebase, which is exactly the kind
+of cross-node aliasing the transport layer goes out of its way to
+prevent (endpoints copy payloads for this reason).  On a public API the
+sharp edge is exported to every caller, so the fix is the standard
+``None`` sentinel:
+
+.. code-block:: python
+
+    def send(self, packets: Optional[List[int]] = None) -> None:
+        packets = [] if packets is None else packets
+
+Flags list/dict/set displays and comprehensions, and bare
+``list()``/``dict()``/``set()``/``bytearray()``/``collections.*``
+constructor calls, as defaults of any function or method whose name
+does not start with an underscore.  Private helpers are left alone —
+their call sites are all local, so a deliberate shared default is
+visible where it matters.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Union
+
+from ..engine import RuleContext
+from .base import Rule, call_name
+
+#: Constructors producing a fresh mutable container.
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "bytearray",
+        "deque",
+        "defaultdict",
+        "OrderedDict",
+        "Counter",
+    }
+)
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(
+        node,
+        (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        return call_name(node) in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+class MutableDefaultsRule(Rule):
+    code = "R11"
+    name = "mutable-defaults"
+    description = (
+        "mutable default arguments alias state across calls (and across "
+        "simulated nodes); default to None and construct inside"
+    )
+
+    def visit_FunctionDef(
+        self, node: ast.FunctionDef, ctx: RuleContext
+    ) -> None:
+        self._check(node, ctx)
+
+    def visit_AsyncFunctionDef(
+        self, node: ast.AsyncFunctionDef, ctx: RuleContext
+    ) -> None:
+        self._check(node, ctx)
+
+    def _check(self, node: _FunctionNode, ctx: RuleContext) -> None:
+        if node.name.startswith("_"):
+            return
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default):
+                kind = type(default).__name__.lower()
+                ctx.report(
+                    default,
+                    f"mutable default ({kind}) on public "
+                    f"{'method' if self._is_method(node, ctx) else 'function'} "
+                    f"{node.name}() is shared across every call; use "
+                    "None and construct inside the body",
+                )
+
+    @staticmethod
+    def _is_method(node: _FunctionNode, ctx: RuleContext) -> bool:
+        return isinstance(ctx.parent(node), ast.ClassDef)

@@ -1,0 +1,126 @@
+"""R10 — unordered collections must not feed order-sensitive consumers.
+
+Python sets iterate in hash order.  For strings that order depends on
+``PYTHONHASHSEED``, so a ``for`` loop over a set of names can differ
+between two invocations of the *same* binary — the classic source of
+unreproducible event schedules, packet-train layouts, and registry
+listings.  Dict iteration is insertion-ordered and therefore
+deterministic, with one exception this rule also polices: module-level
+registry dicts (populated by subscript stores from anywhere, often at
+import time) leak *import order* into their listing order, so user-
+visible scans over them must sort.
+
+Flags, unless the expression is wrapped in ``sorted(...)``:
+
+* ``for x in <set>`` / comprehensions over ``<set>`` where the
+  iterable is statically set-typed: a set display or comprehension,
+  ``set(...)``/``frozenset(...)``, the named set-algebra methods
+  (``.union(...)`` etc.), a module-level name bound to a set, or an
+  attribute whose name is annotated ``Set[...]`` anywhere in the
+  project (cross-file taint via the project-facts pre-pass);
+* ``list(<set>)`` / ``tuple(<set>)`` / ``enumerate(<set>)`` /
+  ``", ".join(<set>)`` — materializations that freeze the accidental
+  order;
+* iteration over a module-level registry dict (or its ``.items()`` /
+  ``.keys()`` / ``.values()``).
+
+Order-insensitive reductions (``len``, ``sum``, ``min``, ``max``,
+``any``, ``all``, membership tests) are untouched — sets are the right
+tool there.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Set
+
+from ..engine import RuleContext
+from ..project import is_set_expr
+from .base import Rule
+
+#: Call wrappers that freeze iteration order into a sequence.
+_ORDERED_WRAPPERS = frozenset({"list", "tuple", "enumerate"})
+
+
+class IterationOrderRule(Rule):
+    code = "R10"
+    name = "iteration-order"
+    description = (
+        "sets (and registry dicts) iterate in hash/import order; wrap "
+        "order-sensitive iteration in sorted(...)"
+    )
+
+    def __init__(self) -> None:
+        #: Module-level set names of the file being checked.
+        self._set_globals: Set[str] = set()
+        #: Module-level registry-dict names of the file being checked.
+        self._registry_globals: Set[str] = set()
+
+    def begin_file(self, ctx: RuleContext) -> None:
+        self._set_globals = set(
+            ctx.project.set_globals.get(ctx.module, ())
+        )
+        self._registry_globals = set(
+            ctx.project.registry_globals.get(ctx.module, ())
+        )
+
+    # -- iteration contexts ---------------------------------------------------
+
+    def visit_For(self, node: ast.For, ctx: RuleContext) -> None:
+        self._check_iterable(node.iter, ctx, "for loop")
+
+    def visit_comprehension(
+        self, node: ast.comprehension, ctx: RuleContext
+    ) -> None:
+        self._check_iterable(node.iter, ctx, "comprehension")
+
+    def visit_Call(self, node: ast.Call, ctx: RuleContext) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _ORDERED_WRAPPERS:
+            if node.args:
+                self._check_iterable(node.args[0], ctx, f"{func.id}()")
+        elif isinstance(func, ast.Attribute) and func.attr == "join":
+            if node.args:
+                self._check_iterable(node.args[0], ctx, "str.join()")
+
+    # -- classification -------------------------------------------------------
+
+    def _check_iterable(
+        self, node: ast.expr, ctx: RuleContext, context: str
+    ) -> None:
+        reason = self._unordered_reason(node, ctx)
+        if reason is not None:
+            ctx.report(
+                node,
+                f"{context} iterates {reason} — the order is not "
+                "deterministic across runs; wrap it in sorted(...)",
+            )
+
+    def _unordered_reason(
+        self, node: ast.expr, ctx: RuleContext
+    ) -> Optional[str]:
+        if is_set_expr(node):
+            return "a set expression"
+        if isinstance(node, ast.Name):
+            if node.id in self._set_globals:
+                return f"the module-level set {node.id!r}"
+            if node.id in self._registry_globals:
+                return f"the registry dict {node.id!r} (import order)"
+            return None
+        if isinstance(node, ast.Attribute):
+            if node.attr in ctx.project.set_attrs:
+                return f"the set-typed attribute {node.attr!r}"
+            return None
+        if isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            if node.func.attr in ("items", "keys", "values"):
+                owner = node.func.value
+                if (
+                    isinstance(owner, ast.Name)
+                    and owner.id in self._registry_globals
+                ):
+                    return (
+                        f"the registry dict {owner.id!r} (import order)"
+                    )
+        return None

@@ -1,0 +1,261 @@
+"""R9 — every random draw must come from an explicitly seeded generator.
+
+The distributed runs replicate RNG streams across simulated nodes with
+``np.random.default_rng(spawn_key(seed, node, stream))`` (see
+:mod:`repro.distributed.node`); the global NumPy singleton and the
+stdlib ``random`` module are process-wide mutable state seeded from the
+OS, so one draw from either silently couples results to import order
+and host entropy.  Flags:
+
+* legacy global-singleton draws: ``randn``, ``shuffle`` and friends on
+  the ``np.random`` module itself (``default_rng`` and the
+  ``np.random.Generator`` *type* are of course fine);
+* the legacy ``RandomState`` generator; new code uses ``default_rng``;
+* ``default_rng`` called *without* a seed argument — that seeds from
+  OS entropy, defeating the point;
+* stdlib ``random`` draws — module attribute or ``from random import
+  shuffle`` style — in files that import the stdlib module;
+* the same patterns inside docstrings — Quickstart/demo code blocks are
+  what users copy first, so an unseeded draw there propagates the bug
+  into every downstream script even though it never executes here.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Optional, Set
+
+from ..engine import RuleContext
+from .base import Rule
+
+#: Draw/state functions on the legacy global NumPy singleton.
+NUMPY_LEGACY_DRAWS = frozenset(
+    {
+        "beta",
+        "binomial",
+        "bytes",
+        "chisquare",
+        "choice",
+        "dirichlet",
+        "exponential",
+        "gamma",
+        "geometric",
+        "laplace",
+        "lognormal",
+        "multinomial",
+        "multivariate_normal",
+        "normal",
+        "permutation",
+        "poisson",
+        "rand",
+        "randint",
+        "randn",
+        "random",
+        "random_integers",
+        "random_sample",
+        "ranf",
+        "sample",
+        "seed",
+        "shuffle",
+        "standard_cauchy",
+        "standard_exponential",
+        "standard_gamma",
+        "standard_normal",
+        "standard_t",
+        "uniform",
+    }
+)
+
+#: Stdlib ``random`` module functions that draw or mutate global state.
+STDLIB_RANDOM_FUNCTIONS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: Unseeded-draw patterns searched inside docstring demo code.
+_DOCSTRING_PATTERNS = (
+    re.compile(
+        r"\b(?:np|numpy)\.random\.(%s)\s*\("
+        % "|".join(sorted(NUMPY_LEGACY_DRAWS))
+    ),
+    re.compile(r"\b(?:np|numpy)\.random\.RandomState\s*\("),
+    re.compile(r"\b(?:np|numpy)\.random\.default_rng\s*\(\s*\)"),
+    re.compile(
+        r"(?<![\w.])random\.(%s)\s*\("
+        % "|".join(sorted(STDLIB_RANDOM_FUNCTIONS))
+    ),
+)
+
+
+def _is_np_random(node: ast.AST) -> bool:
+    """True for the ``np.random`` / ``numpy.random`` attribute chain."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "random"
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("np", "numpy")
+    )
+
+
+class SeededRngRule(Rule):
+    code = "R9"
+    name = "seeded-rng"
+    description = (
+        "random draws must come from np.random.default_rng(seed) / "
+        "spawn_key streams, never the global singletons"
+    )
+
+    def __init__(self) -> None:
+        #: Whether the current file imports stdlib ``random``.
+        self._stdlib_random_imported = False
+        #: Names bound by ``from random import ...`` in the current file.
+        self._imported_random_fns: Set[str] = set()
+
+    def begin_file(self, ctx: RuleContext) -> None:
+        self._stdlib_random_imported = False
+        self._imported_random_fns = set()
+        assert ctx.file.tree is not None
+        for node in ast.walk(ctx.file.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" and alias.asname is None:
+                        self._stdlib_random_imported = True
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    for alias in node.names:
+                        if alias.name in STDLIB_RANDOM_FUNCTIONS:
+                            self._imported_random_fns.add(
+                                alias.asname or alias.name
+                            )
+
+    def visit_Call(self, node: ast.Call, ctx: RuleContext) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in self._imported_random_fns:
+                ctx.report(
+                    node,
+                    f"stdlib random.{func.id}() draws from process-wide "
+                    "state; use np.random.default_rng(seed)",
+                )
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        if _is_np_random(func.value):
+            if func.attr in NUMPY_LEGACY_DRAWS:
+                ctx.report(
+                    node,
+                    f"np.random.{func.attr}() uses the unseeded global "
+                    "singleton; draw from np.random.default_rng(seed) "
+                    "(node streams: spawn_key(seed, node, stream))",
+                )
+            elif func.attr == "RandomState":
+                ctx.report(
+                    node,
+                    "np.random.RandomState is the legacy generator; "
+                    "use np.random.default_rng(seed)",
+                )
+            elif func.attr == "default_rng" and not (
+                node.args or node.keywords
+            ):
+                ctx.report(
+                    node,
+                    "default_rng() without a seed draws entropy from "
+                    "the OS; pass an explicit seed",
+                )
+        elif (
+            isinstance(func.value, ast.Name)
+            and func.value.id == "random"
+            and self._stdlib_random_imported
+            and func.attr in STDLIB_RANDOM_FUNCTIONS
+        ):
+            ctx.report(
+                node,
+                f"stdlib random.{func.attr}() draws from process-wide "
+                "state; use np.random.default_rng(seed)",
+            )
+
+    # -- docstring demo code --------------------------------------------------
+
+    def visit_Module(self, node: ast.Module, ctx: RuleContext) -> None:
+        self._check_docstring(node, ctx)
+
+    def visit_FunctionDef(
+        self, node: ast.FunctionDef, ctx: RuleContext
+    ) -> None:
+        self._check_docstring(node, ctx)
+
+    def visit_AsyncFunctionDef(
+        self, node: ast.AsyncFunctionDef, ctx: RuleContext
+    ) -> None:
+        self._check_docstring(node, ctx)
+
+    def visit_ClassDef(self, node: ast.ClassDef, ctx: RuleContext) -> None:
+        self._check_docstring(node, ctx)
+
+    def _check_docstring(self, node: ast.AST, ctx: RuleContext) -> None:
+        doc_node = self._docstring_node(node)
+        if doc_node is None:
+            return
+        text = doc_node.value
+        # Line ``i`` of the literal's text sits on source line
+        # ``lineno + i`` (the first physical line holds the opening
+        # quotes, and triple-quoted docstrings start with a newline).
+        for offset, line in enumerate(text.splitlines()):
+            for pattern in _DOCSTRING_PATTERNS:
+                match = pattern.search(line)
+                if match is not None:
+                    location = _Location(
+                        doc_node.lineno + offset, match.start()
+                    )
+                    ctx.report(
+                        location,
+                        "docstring demo code draws from an unseeded "
+                        f"RNG ({match.group(0).rstrip('(')}...); examples "
+                        "are what users copy — seed them with "
+                        "default_rng",
+                    )
+                    break
+
+    @staticmethod
+    def _docstring_node(node: ast.AST) -> Optional[ast.Constant]:
+        body = getattr(node, "body", None)
+        if not body:
+            return None
+        first = body[0]
+        if (
+            isinstance(first, ast.Expr)
+            and isinstance(first.value, ast.Constant)
+            and isinstance(first.value.value, str)
+        ):
+            return first.value
+        return None
+
+
+class _Location:
+    """A bare (line, col) carrier quacking like an AST node for report()."""
+
+    def __init__(self, lineno: int, col_offset: int) -> None:
+        self.lineno = lineno
+        self.col_offset = col_offset

@@ -12,6 +12,7 @@ Subcommands
 ``strategies``  list registered gradient strategies (ring, wa, async_ps, ...)
 ``trace``       run / validate / summarize / convert execution traces
 ``lint``        repo-aware static analysis (see ``repro lint --list-rules``)
+``sanitize``    determinism sanitizer: replay + event-order race detection
 
 ``train`` and ``exchange`` accept ``--trace out.json`` to record the
 run's message, link, ring-step and codec events (plus the metrics
@@ -437,6 +438,45 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    from repro.distributed import available_strategies
+    from repro.sanitize import StrategyScenario, sanitize
+
+    known = available_strategies()
+    strategies = args.strategy or list(known)
+    for name in strategies:
+        if name not in known:
+            raise SystemExit(
+                f"--strategy: unknown strategy {name!r} "
+                f"({', '.join(known)})"
+            )
+
+    failed = False
+    for index, name in enumerate(strategies):
+        scenario = StrategyScenario(
+            strategy=name,
+            workers=args.workers,
+            iterations=args.iterations,
+            seed=args.seed,
+            loss_rate=args.loss_rate,
+            codec=args.codec,
+        )
+        report = sanitize(scenario, perturb_seeds=tuple(args.perturb_seeds))
+        if index:
+            print()
+        print(report.render())
+        if not report.passed:
+            failed = True
+            if args.diff_out:
+                import json
+
+                Path(args.diff_out).write_text(
+                    json.dumps(report.to_dict(), indent=2, default=str)
+                )
+                print(f"  diff artifact -> {args.diff_out}")
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="INCEPTIONN reproduction toolkit"
@@ -569,6 +609,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_lint_arguments(p)
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "sanitize",
+        help="run scenarios under replay + perturbed event ordering",
+    )
+    p.add_argument(
+        "--strategy", action="append", default=None, metavar="NAME",
+        help="strategy scenario to sanitize (repeatable; default: all)",
+    )
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--iterations", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--loss-rate", type=float, default=0.0, metavar="P",
+        help="per-train drop probability (retransmission implied)",
+    )
+    p.add_argument(
+        "--codec", default=None, metavar="NAME",
+        help="registered codec for the gradient stream",
+    )
+    p.add_argument(
+        "--perturb-seeds", type=int, nargs="+", default=[1, 2, 3],
+        metavar="S", help="tie-break seeds to try (default: 1 2 3)",
+    )
+    p.add_argument(
+        "--diff-out", default=None, metavar="FILE",
+        help="write the failing report (with trace diff) as JSON",
+    )
+    p.set_defaults(func=_cmd_sanitize)
 
     return parser
 

@@ -294,7 +294,9 @@ def register_codec(codec: GradientCodec, tos: int) -> GradientCodec:
         raise ValueError("codecs must set a registry name")
     if name in _REGISTRY:
         raise ValueError(f"codec {name!r} is already registered")
-    for other, entry in _REGISTRY.items():
+    # Sorted so the collision error names the same claimant no matter
+    # what order plugins imported in (rule R10: registry listing order).
+    for other, entry in sorted(_REGISTRY.items()):
         if entry.tos == tos:
             raise ValueError(
                 f"ToS {tos:#x} already claimed by codec {other!r}"

@@ -1,6 +1,14 @@
 """Network substrate: event kernel, packets, links, topologies, simulator."""
 
-from .events import Event, Process, Simulation, Store
+from .events import (
+    FIFO_TIE_BREAK,
+    Event,
+    Process,
+    SeededTieBreak,
+    Simulation,
+    Store,
+    TieBreak,
+)
 from .fabric import (
     TwoTierFabric,
     rack_aligned_ring_order,
@@ -39,6 +47,9 @@ from .topology import (
 
 __all__ = [
     "Event",
+    "FIFO_TIE_BREAK",
+    "SeededTieBreak",
+    "TieBreak",
     "TwoTierFabric",
     "rack_aligned_ring_order",
     "rack_interleaved_ring_order",

@@ -8,6 +8,13 @@ the kernel resumes them when those events fire.
 
 Only the features the reproduction needs are implemented: one-shot
 events, timeouts, processes, and FIFO stores (used as message queues).
+
+Equal-timestamp ordering is an explicit, pluggable policy.  The kernel
+totally orders simultaneous entries by a :class:`TieBreak` key (FIFO by
+default, matching the historical behaviour bit-for-bit); the
+determinism sanitizer re-runs scenarios under :class:`SeededTieBreak`
+to perturb exactly that ordering — any outcome that changes was racing
+on event order all along.
 """
 
 from __future__ import annotations
@@ -16,6 +23,53 @@ import heapq
 import itertools
 from collections import deque
 from typing import Any, Callable, Generator, List, Optional
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(value: int) -> int:
+    """One splitmix64 mixing round (deterministic, hash-seed independent)."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+class TieBreak:
+    """Policy ordering same-timestamp entries in the event queue.
+
+    ``key(seq)`` maps an entry's global insertion sequence number to the
+    secondary sort key used when timestamps are equal; the sequence
+    number itself remains the final tiebreaker, so every policy yields a
+    deterministic total order.  The default policy is strict FIFO.
+    """
+
+    name = "fifo"
+
+    def key(self, seq: int) -> int:
+        return 0
+
+
+#: The default policy: simultaneous entries run in insertion order.
+FIFO_TIE_BREAK = TieBreak()
+
+
+class SeededTieBreak(TieBreak):
+    """Deterministically shuffled ordering of simultaneous entries.
+
+    Each insertion sequence number maps through splitmix64 keyed by
+    ``seed`` — the same seed always produces the same perturbation, and
+    no Python ``hash()`` is involved, so runs are reproducible across
+    processes regardless of ``PYTHONHASHSEED``.
+    """
+
+    name = "seeded"
+
+    def __init__(self, seed: int = 1) -> None:
+        self.seed = int(seed)
+
+    def key(self, seq: int) -> int:
+        return _splitmix64(seq ^ _splitmix64(self.seed))
 
 
 class Event:
@@ -66,12 +120,18 @@ class Process(Event):
 
 
 class Simulation:
-    """Event queue and virtual clock."""
+    """Event queue and virtual clock.
 
-    def __init__(self) -> None:
+    ``tie_break`` orders simultaneous entries (default FIFO); see
+    :class:`TieBreak`.
+    """
+
+    def __init__(self, tie_break: Optional[TieBreak] = None) -> None:
         self.now = 0.0
+        self.tie_break = tie_break if tie_break is not None else FIFO_TIE_BREAK
         self._heap: List = []
         self._counter = itertools.count()
+        self._epilogue: List[Callable[[], None]] = []
 
     # -- event construction -------------------------------------------------
 
@@ -114,10 +174,29 @@ class Simulation:
     # -- scheduling ----------------------------------------------------------
 
     def _at(self, time: float, fn: Callable[[], None]) -> None:
-        heapq.heappush(self._heap, (time, next(self._counter), fn))
+        seq = next(self._counter)
+        heapq.heappush(self._heap, (time, self.tie_break.key(seq), seq, fn))
 
     def _immediate(self, fn: Callable[[], None]) -> None:
         self._at(self.now, fn)
+
+    def call_at(self, time: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` to run at absolute simulated ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        self._at(time, fn)
+
+    def at_instant_end(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` once every event at the *current* instant has run.
+
+        The hook fires after the queue holds no further entries at
+        ``now`` and before the clock advances — the point where all
+        simultaneous requests are known, which is what deterministic
+        resource arbitration (see :meth:`Link.transmit_cut_through
+        <repro.network.link.Link>`) needs.  Hooks may schedule new
+        same-instant work; it is processed before time moves on.
+        """
+        self._epilogue.append(fn)
 
     def _schedule_callbacks(self, event: Event) -> None:
         callbacks, event._callbacks = event._callbacks, []
@@ -131,13 +210,23 @@ class Simulation:
 
         Returns the final simulation time.
         """
-        while self._heap:
-            time, _, fn = self._heap[0]
-            if until is not None and time > until:
+        while self._heap or self._epilogue:
+            next_time = self._heap[0][0] if self._heap else None
+            if self._epilogue and (next_time is None or next_time > self.now):
+                # The current instant has drained: run instant-end hooks
+                # (which may schedule more work at ``now``) before the
+                # clock moves.
+                hooks, self._epilogue = self._epilogue, []
+                for hook in hooks:
+                    hook()
+                continue
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
                 self.now = until
                 return self.now
-            heapq.heappop(self._heap)
-            self.now = time
+            _, _, _, fn = heapq.heappop(self._heap)
+            self.now = next_time
             fn()
         return self.now
 

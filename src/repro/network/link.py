@@ -6,12 +6,23 @@ Serialization time is ``bytes * 8 / bandwidth``; contention is modeled by
 FIFO reservation (a transmit started while the link is busy queues behind
 the in-flight traffic).  The aggregator bottleneck the paper measures is
 precisely the FIFO queue on the switch-to-aggregator link.
+
+Requests issued at the *same simulated instant* are a special case: with
+naive immediate reservation their FIFO order would be whatever order the
+kernel happened to run the requesting callbacks in — an accident of
+event-queue insertion, not a modeling decision.  Callers that pass an
+arbitration ``key`` instead get deterministic same-instant arbitration:
+requests are collected until the instant drains (see
+:meth:`Simulation.at_instant_end`) and granted in key order, the way a
+hardware arbiter resolves simultaneous port requests by fixed priority.
+This makes contention outcomes a pure function of the workload, invariant
+under equal-timestamp event reordering.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Deque, List, Optional, Tuple
 
 from repro.obs import Tracer
 
@@ -50,6 +61,9 @@ class Link:
         #: Nullable tracer; ``None`` keeps the hot path allocation-free.
         self.tracer: Optional[Tracer] = None
         self._inflight: Optional[Deque[float]] = None
+        #: Same-instant reservation requests awaiting arbitration.
+        self._pending: List[Tuple] = []
+        self._arbitrating = False
 
     def attach_tracer(self, tracer: Tracer, kind: Optional[str] = None) -> None:
         """Enable occupancy tracing on this resource (idempotent)."""
@@ -113,16 +127,8 @@ class Link:
         """Time to clock ``nbytes`` onto the wire at line rate."""
         return nbytes * 8.0 / self.bandwidth_bps
 
-    def transmit(self, nbytes: int) -> Tuple[Event, Event]:
-        """Queue a frame for transmission.
-
-        Returns ``(sent, delivered)``: ``sent`` fires when the last bit
-        leaves the sender (the link becomes free), ``delivered`` fires one
-        propagation delay later at the receiver.  Calls made while the
-        link is busy are served FIFO.
-        """
-        if nbytes < 0:
-            raise ValueError("cannot transmit a negative number of bytes")
+    def _reserve(self, nbytes: int) -> Tuple[float, float]:
+        """Claim the next FIFO slot; returns ``(start, finish)`` times."""
         now = self.sim.now
         serialization = self.serialization_time(nbytes)
         start = max(now, self._free_at)
@@ -132,12 +138,62 @@ class Link:
         self.busy_time += serialization
         if self.tracer is not None:
             self._trace_transfer(now, start, finish, nbytes)
+        return start, finish
+
+    def _defer(
+        self, key: Tuple, nbytes: int, head_nbytes: Optional[int]
+    ) -> Tuple[Event, Event]:
+        """Queue an arbitrated reservation; grant happens at instant end."""
+        first = Event(self.sim)
+        second = Event(self.sim)
+        self._pending.append((key, nbytes, head_nbytes, first, second))
+        if not self._arbitrating:
+            self._arbitrating = True
+            self.sim.at_instant_end(self._grant_pending)
+        return first, second
+
+    def _grant_pending(self) -> None:
+        """Grant every reservation requested this instant, in key order."""
+        self._arbitrating = False
+        pending, self._pending = self._pending, []
+        pending.sort(key=lambda request: request[0])
+        for _, nbytes, head_nbytes, first, second in pending:
+            start, finish = self._reserve(nbytes)
+            if head_nbytes is None:  # plain transmit: (sent, delivered)
+                first_at = finish
+            else:  # cut-through: (head_arrived, delivered)
+                first_at = (
+                    start + self.serialization_time(head_nbytes) + self.latency_s
+                )
+            self.sim.call_at(first_at, lambda ev=first: ev.succeed())
+            self.sim.call_at(
+                finish + self.latency_s, lambda ev=second: ev.succeed()
+            )
+
+    def transmit(
+        self, nbytes: int, key: Optional[Tuple] = None
+    ) -> Tuple[Event, Event]:
+        """Queue a frame for transmission.
+
+        Returns ``(sent, delivered)``: ``sent`` fires when the last bit
+        leaves the sender (the link becomes free), ``delivered`` fires one
+        propagation delay later at the receiver.  Calls made while the
+        link is busy are served FIFO.  With a ``key``, same-instant
+        requests are granted in key order instead of call order (see the
+        module docstring).
+        """
+        if nbytes < 0:
+            raise ValueError("cannot transmit a negative number of bytes")
+        if key is not None:
+            return self._defer(key, nbytes, None)
+        now = self.sim.now
+        start, finish = self._reserve(nbytes)
         sent = self.sim.timeout(finish - now)
         delivered = self.sim.timeout(finish + self.latency_s - now)
         return sent, delivered
 
     def transmit_cut_through(
-        self, nbytes: int, head_nbytes: int
+        self, nbytes: int, head_nbytes: int, key: Optional[Tuple] = None
     ) -> Tuple[Event, Event]:
         """Queue a packet train, exposing when its *head* packet lands.
 
@@ -146,20 +202,17 @@ class Link:
         cut-through/pipelined next hop may begin forwarding — and
         ``delivered`` when the whole train has.  With homogeneous link
         rates (our topologies) forwarding on head arrival never outruns
-        the incoming stream.
+        the incoming stream.  With a ``key``, same-instant requests are
+        granted in key order instead of call order (see the module
+        docstring).
         """
         if nbytes < 0:
             raise ValueError("cannot transmit a negative number of bytes")
         head_nbytes = min(max(head_nbytes, 0), nbytes)
+        if key is not None:
+            return self._defer(key, nbytes, head_nbytes)
         now = self.sim.now
-        serialization = self.serialization_time(nbytes)
-        start = max(now, self._free_at)
-        finish = start + serialization
-        self._free_at = finish
-        self.bytes_carried += nbytes
-        self.busy_time += serialization
-        if self.tracer is not None:
-            self._trace_transfer(now, start, finish, nbytes)
+        start, finish = self._reserve(nbytes)
         head_arrival = start + self.serialization_time(head_nbytes) + self.latency_s
         head_arrived = self.sim.timeout(head_arrival - now)
         delivered = self.sim.timeout(finish + self.latency_s - now)

@@ -161,6 +161,12 @@ class Network:
                 link.attach_tracer(tracer)
         self.total_wire_bytes = 0
         self.messages_sent = 0
+        # Per-(src, dst) message sequence numbers feed link arbitration
+        # keys.  Unlike the global ``messages_sent`` counter, these only
+        # order messages within one flow — a deterministic quantity —
+        # so keys never depend on the cross-flow callback execution
+        # order the sanitizer deliberately perturbs.
+        self._pair_seq: Dict[Tuple[int, int], int] = {}
 
     # -- public API -----------------------------------------------------------
 
@@ -283,14 +289,26 @@ class Network:
                 wire_total
             )
 
+        pair = (src, dst)
+        pair_seq = self._pair_seq.get(pair, 0)
+        self._pair_seq[pair] = pair_seq + 1
+
         trains = list(self._split_trains(num_packets, wire_payload, nbytes))
         procs = [
             self.sim.process(
                 self._train_process(
-                    route, pkts, wire, raw, compress, src, dst, on_retransmit
+                    route,
+                    pkts,
+                    wire,
+                    raw,
+                    compress,
+                    src,
+                    dst,
+                    on_retransmit,
+                    arb_key=(src, dst, pair_seq, index),
                 )
             )
-            for pkts, wire, raw in trains
+            for index, (pkts, wire, raw) in enumerate(trains)
         ]
         done = self.sim.event()
 
@@ -358,6 +376,7 @@ class Network:
         src: int,
         dst: int,
         on_retransmit: Optional[RetransmitHook] = None,
+        arb_key: Optional[Tuple[int, int, int, int]] = None,
     ) -> Generator[Event, Any, None]:
         """Pipeline one packet train through engines and links.
 
@@ -366,6 +385,12 @@ class Network:
         has been stored — so results do not depend on the simulation's
         train granularity.  The final stage completes store-and-forward
         (delivery means the last byte arrived).
+
+        ``arb_key`` — ``(src, dst, flow seq, train index)`` — arbitrates
+        same-instant contention on every stage: when several trains hit
+        one FIFO resource at the same simulated time, grants go in key
+        order, not in event-callback order, so contention outcomes
+        cannot race on equal-timestamp event scheduling.
         """
         head_wire = min(wire_bytes, HEADER_BYTES + self.mss)
         head_raw = min(raw_bytes, HEADER_BYTES + self.mss)
@@ -388,7 +413,7 @@ class Network:
             for index, (resource, nbytes, head, post_delay) in enumerate(stages):
                 drop_here = resource.should_drop(packets)
                 head_arrived, delivered = resource.transmit_cut_through(
-                    nbytes, head
+                    nbytes, head, key=arb_key
                 )
                 if drop_here:
                     # The wire time is spent; the loss is discovered at

@@ -13,6 +13,7 @@ no timing-visible work — an untraced run is bit-identical to the
 pre-observability code.
 """
 
+from .diff import TraceDiff, canonical_events, diff_traces, trace_fingerprint
 from .metrics import Counter, Gauge, Histogram, Metrics
 from .tracer import (
     CAT_ASYNC,
@@ -65,4 +66,8 @@ __all__ = [
     "TRACE_SCHEMA_NAME",
     "TRACE_SCHEMA_VERSION",
     "validate_trace",
+    "TraceDiff",
+    "canonical_events",
+    "diff_traces",
+    "trace_fingerprint",
 ]

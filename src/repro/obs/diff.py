@@ -1,0 +1,168 @@
+"""Trace diffing: locate the first divergence between two recorded runs.
+
+The determinism sanitizer (:mod:`repro.sanitize`) runs one scenario
+several times — replayed with identical seeds, and again with the event
+queue's equal-timestamp tie-breaking perturbed — and needs to answer
+two questions about the resulting event streams:
+
+* *are they the same run?* — :func:`trace_fingerprint` hashes the
+  canonical JSON form of every event, so bit-identical replays produce
+  identical digests;
+* *where did they first differ?* — :func:`diff_traces` walks the two
+  streams in parallel and reports the first divergent event with a
+  window of surrounding context, the postmortem a race report is built
+  around.
+
+Everything operates on :class:`~repro.obs.tracer.TraceEvent` lists (or
+their already-serialized dict forms), so diffs work equally on live
+tracers and on trace documents loaded from disk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from .tracer import TraceEvent
+
+#: Events accepted by the diff: live records or serialized dicts.
+EventLike = Union[TraceEvent, Dict[str, object]]
+
+
+def canonical_events(events: Sequence[EventLike]) -> List[Dict[str, object]]:
+    """Serialized form of ``events``, stable across live/loaded sources."""
+    return [
+        event.to_dict() if isinstance(event, TraceEvent) else dict(event)
+        for event in events
+    ]
+
+
+def trace_fingerprint(events: Sequence[EventLike]) -> str:
+    """sha256 hex digest of the canonical JSON event stream.
+
+    Two runs with the same fingerprint recorded the same events in the
+    same order with the same payloads — the replay-determinism check is
+    an equality test on this digest.
+    """
+    canon = canonical_events(events)
+    blob = json.dumps(canon, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _render_event(event: Dict[str, object]) -> str:
+    name = event.get("name", "?")
+    cat = event.get("cat", "?")
+    ts = event.get("ts", 0.0)
+    node = event.get("node")
+    where = f" node={node}" if node is not None else ""
+    dur = event.get("dur")
+    span = f" dur={dur:.9g}" if isinstance(dur, (int, float)) else ""
+    args = event.get("args")
+    extra = f" {args}" if args else ""
+    return f"[{cat}] {name} ts={ts:.9g}{span}{where}{extra}"
+
+
+@dataclass(frozen=True)
+class TraceDiff:
+    """Where two event streams first diverge (if they do).
+
+    ``divergence_index`` is the position of the first event present in
+    one stream but not (or not equal) in the other; ``None`` when the
+    streams are identical.  ``context_a``/``context_b`` carry a window
+    of events around the divergence from each stream, already
+    serialized, for the human postmortem and the JSON artifact.
+    """
+
+    identical: bool
+    divergence_index: Optional[int]
+    a_total: int
+    b_total: int
+    a_event: Optional[Dict[str, object]] = None
+    b_event: Optional[Dict[str, object]] = None
+    context_a: List[Dict[str, object]] = field(default_factory=list)
+    context_b: List[Dict[str, object]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "identical": self.identical,
+            "divergence_index": self.divergence_index,
+            "a_total": self.a_total,
+            "b_total": self.b_total,
+            "a_event": self.a_event,
+            "b_event": self.b_event,
+            "context_a": self.context_a,
+            "context_b": self.context_b,
+        }
+
+    def render(self) -> str:
+        """Human-readable first-divergence report."""
+        if self.identical:
+            return (
+                f"traces identical ({self.a_total} events)"
+            )
+        lines = [
+            f"traces diverge at event {self.divergence_index} "
+            f"({self.a_total} vs {self.b_total} events)"
+        ]
+        lines.append(
+            "  baseline:  "
+            + (_render_event(self.a_event) if self.a_event else "<stream ended>")
+        )
+        lines.append(
+            "  perturbed: "
+            + (_render_event(self.b_event) if self.b_event else "<stream ended>")
+        )
+        if self.context_a:
+            lines.append("  baseline context:")
+            lines.extend(f"    {_render_event(e)}" for e in self.context_a)
+        if self.context_b:
+            lines.append("  perturbed context:")
+            lines.extend(f"    {_render_event(e)}" for e in self.context_b)
+        return "\n".join(lines)
+
+
+def diff_traces(
+    a: Sequence[EventLike],
+    b: Sequence[EventLike],
+    context: int = 3,
+) -> TraceDiff:
+    """First divergence between event streams ``a`` and ``b``.
+
+    Events are compared in record order on their full canonical dict
+    form (name, category, timestamp, duration, node, args).  ``context``
+    events before and after the divergence from each stream travel in
+    the report.
+    """
+    if context < 0:
+        raise ValueError("context cannot be negative")
+    canon_a = canonical_events(a)
+    canon_b = canonical_events(b)
+    limit = min(len(canon_a), len(canon_b))
+    index: Optional[int] = None
+    for i in range(limit):
+        if canon_a[i] != canon_b[i]:
+            index = i
+            break
+    if index is None:
+        if len(canon_a) == len(canon_b):
+            return TraceDiff(
+                identical=True,
+                divergence_index=None,
+                a_total=len(canon_a),
+                b_total=len(canon_b),
+            )
+        index = limit  # one stream is a strict prefix of the other
+    lo = max(0, index - context)
+    hi = index + context + 1
+    return TraceDiff(
+        identical=False,
+        divergence_index=index,
+        a_total=len(canon_a),
+        b_total=len(canon_b),
+        a_event=canon_a[index] if index < len(canon_a) else None,
+        b_event=canon_b[index] if index < len(canon_b) else None,
+        context_a=canon_a[lo:hi],
+        context_b=canon_b[lo:hi],
+    )

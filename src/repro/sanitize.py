@@ -1,0 +1,341 @@
+"""Runtime determinism sanitizer: replay check + event-order race detector.
+
+The reproduction's results are pinned sha256-exact, which only holds if
+every run is a pure function of its seeds.  Two failure classes break
+that silently:
+
+* *replay nondeterminism* — wall-clock reads, unseeded RNG draws, or
+  hash-ordered iteration leaking into the simulation.  Detected by
+  running the scenario twice with identical seeds and comparing both
+  the semantic outcome and the full trace fingerprint.
+* *event-order races* — outcomes that depend on which of two
+  equal-timestamp events the kernel happens to run first.  Today's FIFO
+  tie-breaking makes such runs reproducible, but the result is then an
+  accident of insertion order and will shift under any scheduling
+  change (fault injection, flow-level fast paths, topology rework).
+  Detected by re-running under :class:`~repro.network.SeededTieBreak`,
+  which perturbs exactly the equal-timestamp ordering and nothing else,
+  and comparing semantic outcomes.
+
+On divergence the report carries a postmortem built from the PR 3
+tracer: :func:`repro.obs.diff_traces` locates the first event where the
+two runs part ways.
+
+``repro sanitize`` (see :mod:`repro.cli`) drives this over the strategy
+scenarios; tests inject synthetic racy scenarios through the same
+:class:`Scenario` interface.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.network import SeededTieBreak, TieBreak
+from repro.obs import TraceDiff, Tracer, diff_traces, trace_fingerprint
+
+#: Perturbation seeds tried by default: each reshuffles equal-timestamp
+#: ties differently, so a race that survives one shuffle by luck is
+#: caught by the next.
+DEFAULT_PERTURB_SEEDS = (1, 2, 3)
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """What one execution of a scenario produced.
+
+    ``fingerprint`` hashes the *semantic* result (final weights, loss
+    trajectory, simulated duration) — the quantity that must be
+    invariant under equal-timestamp reordering.  ``events`` is the full
+    trace, used for replay fingerprinting and divergence postmortems.
+    """
+
+    fingerprint: str
+    details: Dict[str, object]
+    events: List[object]
+    virtual_time_s: float
+
+    @property
+    def trace_fingerprint(self) -> str:
+        return trace_fingerprint(self.events)
+
+
+def outcome_fingerprint(*parts: object) -> str:
+    """sha256 over the repr of each semantic result component.
+
+    NumPy arrays hash their raw bytes (dtype/shape included) so two
+    outcomes match only when bit-exactly equal.
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        if isinstance(part, np.ndarray):
+            digest.update(str(part.dtype).encode())
+            digest.update(str(part.shape).encode())
+            digest.update(part.tobytes())
+        else:
+            digest.update(repr(part).encode())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+class Scenario:
+    """One sanitizable workload: run it under a given tie-break policy.
+
+    Subclasses implement :meth:`execute`; every call must build a fresh
+    simulation from the same seeds, so consecutive calls are replays.
+    """
+
+    name: str = "scenario"
+
+    def execute(
+        self, tie_break: Optional[TieBreak], tracer: Tracer
+    ) -> ScenarioOutcome:
+        raise NotImplementedError
+
+
+class StrategyScenario(Scenario):
+    """A small simulated-cluster training run under any registered strategy.
+
+    The semantic outcome is the final parameter vector (bit-exact), the
+    per-iteration loss trajectory, and the simulated duration — exactly
+    the quantities the parity suites pin.
+    """
+
+    def __init__(
+        self,
+        strategy: str = "ring",
+        workers: int = 4,
+        iterations: int = 2,
+        seed: int = 0,
+        loss_rate: float = 0.0,
+        codec: Optional[str] = None,
+        train_size: int = 120,
+        test_size: int = 40,
+        batch_size: int = 10,
+        options: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        self.strategy = strategy
+        self.workers = workers
+        self.iterations = iterations
+        self.seed = seed
+        self.loss_rate = loss_rate
+        self.codec = codec
+        self.train_size = train_size
+        self.test_size = test_size
+        self.batch_size = batch_size
+        self.options = dict(options or {})
+        tag = f"{strategy}+loss" if loss_rate else strategy
+        self.name = f"{tag} x{workers}"
+
+    def execute(
+        self, tie_break: Optional[TieBreak], tracer: Tracer
+    ) -> ScenarioOutcome:
+        from repro.core import profile_for
+        from repro.distributed import get_strategy, run_strategy
+        from repro.dnn import LRSchedule, SGD, build_hdc, hdc_dataset
+        from repro.network import RetransmitPolicy
+        from repro.transport import ClusterConfig
+
+        strategy = get_strategy(self.strategy)
+        stream = profile_for(self.codec) if self.codec else None
+        num_nodes = self.workers + strategy.extra_nodes(
+            self.workers, self.options
+        )
+        result = run_strategy(
+            strategy,
+            build_net=lambda s: build_hdc(seed=s),
+            make_optimizer=lambda: SGD(LRSchedule(0.02), momentum=0.9),
+            dataset=hdc_dataset(
+                train_size=self.train_size,
+                test_size=self.test_size,
+                seed=self.seed,
+            ),
+            num_workers=self.workers,
+            iterations=self.iterations,
+            batch_size=self.batch_size,
+            cluster=ClusterConfig(
+                num_nodes=num_nodes,
+                profile=stream,
+                loss_rate=self.loss_rate,
+                retransmit=RetransmitPolicy() if self.loss_rate else None,
+                tie_break=tie_break,
+            ),
+            stream=stream,
+            tracer=tracer,
+            seed=self.seed,
+            options=self.options,
+        )
+        losses = [round(loss, 12) for loss in result.losses]
+        details: Dict[str, object] = {
+            "weights_sha256": outcome_fingerprint(result.final_weights),
+            "losses": losses,
+            "virtual_time_s": result.virtual_time_s,
+            "final_top1": result.final_top1,
+        }
+        # The fingerprint pins the *functional* outcome: final weights
+        # bit-exact plus the per-iteration mean losses (rounded — the
+        # accumulation order over simultaneous workers is
+        # schedule-dependent at the last-ulp level).  Simulated duration
+        # stays out: reordering simultaneous trains on a shared link
+        # legally changes FCFS interleaving and hence the makespan;
+        # sanitize() reports such shifts informationally instead.
+        return ScenarioOutcome(
+            fingerprint=outcome_fingerprint(result.final_weights, losses),
+            details=details,
+            events=list(tracer.events),
+            virtual_time_s=result.virtual_time_s,
+        )
+
+
+@dataclass
+class SanitizeReport:
+    """Everything one sanitizer pass learned about a scenario."""
+
+    scenario: str
+    #: Identical-seed rerun matched the baseline bit-for-bit.
+    replay_clean: bool
+    #: Some perturbed tie-break changed the semantic outcome.
+    race_detected: bool
+    #: Tie-break seed that exposed the race (None when clean).
+    racy_seed: Optional[int] = None
+    #: First-divergence postmortems (replay: baseline vs rerun;
+    #: race: baseline vs the racy perturbed run).
+    replay_diff: Optional[TraceDiff] = None
+    race_diff: Optional[TraceDiff] = None
+    baseline: Optional[Dict[str, object]] = None
+    divergent: Optional[Dict[str, object]] = None
+    perturb_seeds: Sequence[int] = field(default_factory=tuple)
+    events_traced: int = 0
+    #: Perturbed runs whose functional outcome matched but whose
+    #: simulated duration shifted — legal FCFS re-interleaving, reported
+    #: so schedule-sensitive makespans stay visible.
+    timing_shifts: List[Dict[str, float]] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return self.replay_clean and not self.race_detected
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "passed": self.passed,
+            "replay_clean": self.replay_clean,
+            "race_detected": self.race_detected,
+            "racy_seed": self.racy_seed,
+            "perturb_seeds": list(self.perturb_seeds),
+            "events_traced": self.events_traced,
+            "baseline": self.baseline,
+            "divergent": self.divergent,
+            "timing_shifts": list(self.timing_shifts),
+            "replay_diff": self.replay_diff.to_dict()
+            if self.replay_diff
+            else None,
+            "race_diff": self.race_diff.to_dict() if self.race_diff else None,
+        }
+
+    def render(self) -> str:
+        lines = [f"sanitize {self.scenario}:"]
+        if self.replay_clean:
+            lines.append(
+                f"  replay      OK ({self.events_traced} events bit-identical)"
+            )
+        else:
+            lines.append("  replay      NONDETERMINISTIC with identical seeds")
+            if self.replay_diff is not None:
+                lines.extend(
+                    "  " + line for line in self.replay_diff.render().splitlines()
+                )
+        if self.race_detected:
+            lines.append(
+                f"  tie-break   RACE under SeededTieBreak({self.racy_seed}): "
+                "outcome depends on equal-timestamp event order"
+            )
+            if self.baseline and self.divergent:
+                lines.append(f"    baseline:  {self.baseline}")
+                lines.append(f"    perturbed: {self.divergent}")
+            if self.race_diff is not None:
+                lines.extend(
+                    "  " + line for line in self.race_diff.render().splitlines()
+                )
+        else:
+            seeds = ",".join(str(s) for s in self.perturb_seeds)
+            lines.append(f"  tie-break   OK (perturbation seeds {seeds})")
+        for shift in self.timing_shifts:
+            lines.append(
+                f"  note        makespan shifted under "
+                f"SeededTieBreak({shift['seed']:.0f}): "
+                f"{shift['baseline_s']:.6g}s -> {shift['perturbed_s']:.6g}s "
+                "(functional outcome unchanged)"
+            )
+        lines.append(f"  verdict     {'PASS' if self.passed else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def sanitize(
+    scenario: Scenario,
+    perturb_seeds: Sequence[int] = DEFAULT_PERTURB_SEEDS,
+    context: int = 3,
+) -> SanitizeReport:
+    """Run the two determinism checks over ``scenario``.
+
+    1. *Replay*: execute twice with identical seeds and FIFO ordering;
+       semantic outcome **and** trace fingerprint must match exactly.
+    2. *Race*: execute once per perturbation seed with shuffled
+       equal-timestamp ordering; the semantic outcome must match the
+       baseline (the trace event *order* may legitimately differ — only
+       the outcome is pinned).  The first seed that changes the outcome
+       stops the scan and yields a first-divergence postmortem.
+    """
+    baseline = scenario.execute(None, Tracer())
+    replay = scenario.execute(None, Tracer())
+
+    replay_clean = (
+        baseline.fingerprint == replay.fingerprint
+        and baseline.trace_fingerprint == replay.trace_fingerprint
+    )
+    replay_diff = None
+    if not replay_clean:
+        replay_diff = diff_traces(
+            baseline.events, replay.events, context=context
+        )
+
+    race_detected = False
+    racy_seed: Optional[int] = None
+    race_diff: Optional[TraceDiff] = None
+    divergent: Optional[Dict[str, object]] = None
+    timing_shifts: List[Dict[str, float]] = []
+    for seed in perturb_seeds:
+        perturbed = scenario.execute(SeededTieBreak(seed), Tracer())
+        if perturbed.fingerprint != baseline.fingerprint:
+            race_detected = True
+            racy_seed = seed
+            divergent = dict(perturbed.details)
+            race_diff = diff_traces(
+                baseline.events, perturbed.events, context=context
+            )
+            break
+        if perturbed.virtual_time_s != baseline.virtual_time_s:
+            timing_shifts.append(
+                {
+                    "seed": float(seed),
+                    "baseline_s": baseline.virtual_time_s,
+                    "perturbed_s": perturbed.virtual_time_s,
+                }
+            )
+
+    return SanitizeReport(
+        scenario=scenario.name,
+        replay_clean=replay_clean,
+        race_detected=race_detected,
+        racy_seed=racy_seed,
+        replay_diff=replay_diff,
+        race_diff=race_diff,
+        baseline=dict(baseline.details),
+        divergent=divergent,
+        perturb_seeds=tuple(perturb_seeds),
+        events_traced=len(baseline.events),
+        timing_shifts=timing_shifts,
+    )

@@ -35,6 +35,7 @@ from repro.network import (
     Simulation,
     Store,
     SwitchedStar,
+    TieBreak,
 )
 from repro.network.topology import DEFAULT_BANDWIDTH_BPS
 from repro.obs import CAT_CODEC, Tracer
@@ -124,6 +125,10 @@ class ClusterConfig:
     loss_seed: int = 0
     #: Recovery parameters; ``None`` uses the network's defaults.
     retransmit: Optional[RetransmitPolicy] = None
+    #: Equal-timestamp event ordering policy; ``None`` is strict FIFO.
+    #: The determinism sanitizer re-runs scenarios under a
+    #: :class:`~repro.network.SeededTieBreak` to surface order races.
+    tie_break: Optional[TieBreak] = None
 
     def __post_init__(self) -> None:
         if self.compression:
@@ -152,7 +157,7 @@ class ClusterComm:
         self.config = config
         self.tracer = tracer
         self.default_profile = config.default_profile()
-        self.sim = Simulation()
+        self.sim = Simulation(tie_break=config.tie_break)
         self.topology = SwitchedStar(
             self.sim,
             config.num_nodes,

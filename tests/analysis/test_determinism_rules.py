@@ -1,0 +1,507 @@
+"""The determinism rule family: R8 wall-clock, R9 seeded RNG,
+R10 iteration order, R11 mutable defaults."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.rules import (
+    IterationOrderRule,
+    MutableDefaultsRule,
+    SeededRngRule,
+    WallClockRule,
+)
+
+
+def codes(findings):
+    return [f.rule for f in findings]
+
+
+# -- R8: wall-clock -----------------------------------------------------------
+
+
+class TestWallClock:
+    def test_time_module_attribute_calls_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            "network/clock.py",
+            """
+            import time
+
+            def stamp():
+                return time.time()
+
+            def measure():
+                return time.perf_counter()
+            """,
+            rules=[WallClockRule()],
+        )
+        assert codes(findings) == ["R8", "R8"]
+
+    def test_from_import_tracked_per_file(self, lint_tree):
+        findings = lint_tree(
+            {
+                "repro/network/a.py": """
+                    from time import perf_counter as pc
+
+                    def measure():
+                        return pc()
+                    """,
+                # Same bare name in a file that never imported it: clean.
+                "repro/network/b.py": """
+                    def pc():
+                        return 0.0
+
+                    def fine():
+                        return pc()
+                    """,
+            },
+            rules=[WallClockRule()],
+        )
+        assert [(f.rule, f.path.endswith("a.py")) for f in findings] == [
+            ("R8", True)
+        ]
+
+    def test_datetime_now_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            "obs/tracer2.py",
+            """
+            from datetime import datetime, date
+
+            def stamp():
+                return datetime.now(), datetime.utcnow(), date.today()
+            """,
+            rules=[WallClockRule()],
+        )
+        assert codes(findings) == ["R8", "R8", "R8"]
+
+    def test_obs_export_is_exempt(self, lint_tree):
+        findings = lint_tree(
+            {
+                "repro/obs/export.py": """
+                    import time
+
+                    def written_at():
+                        return time.time()
+                    """
+            },
+            rules=[WallClockRule()],
+        )
+        assert findings == []
+
+    def test_simulation_now_is_fine(self, lint_snippet):
+        findings = lint_snippet(
+            "network/ok.py",
+            """
+            def tick(sim):
+                return sim.now
+            """,
+            rules=[WallClockRule()],
+        )
+        assert findings == []
+
+    def test_suppression_comment(self, lint_snippet):
+        findings = lint_snippet(
+            "network/supp.py",
+            """
+            import time
+
+            def stamp():
+                return time.time()  # repro-lint: disable=R8 benchmarking only
+            """,
+            rules=[WallClockRule()],
+        )
+        assert findings == []
+
+
+# -- R9: seeded RNG -----------------------------------------------------------
+
+
+class TestSeededRng:
+    def test_legacy_numpy_draws_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            "dnn/draws.py",
+            """
+            import numpy as np
+
+            def noise(n):
+                return np.random.randn(n)
+
+            def pick(xs):
+                np.random.shuffle(xs)
+                return xs
+            """,
+            rules=[SeededRngRule()],
+        )
+        assert codes(findings) == ["R9", "R9"]
+
+    def test_seeded_default_rng_is_fine(self, lint_snippet):
+        findings = lint_snippet(
+            "dnn/ok.py",
+            """
+            import numpy as np
+            from repro.distributed.node import spawn_key
+
+            def noise(seed, node, n):
+                rng = np.random.default_rng(spawn_key(seed, node, 0))
+                return rng.standard_normal(n)
+            """,
+            rules=[SeededRngRule()],
+        )
+        assert findings == []
+
+    def test_unseeded_default_rng_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            "dnn/unseeded.py",
+            """
+            import numpy as np
+
+            def noise(n):
+                return np.random.default_rng().standard_normal(n)
+            """,
+            rules=[SeededRngRule()],
+        )
+        assert codes(findings) == ["R9"]
+
+    def test_randomstate_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            "dnn/legacy.py",
+            """
+            import numpy as np
+
+            def gen(seed):
+                return np.random.RandomState(seed)
+            """,
+            rules=[SeededRngRule()],
+        )
+        assert codes(findings) == ["R9"]
+
+    def test_stdlib_random_flagged_only_when_imported(self, lint_tree):
+        findings = lint_tree(
+            {
+                "repro/dnn/uses_stdlib.py": """
+                    import random
+
+                    def pick(xs):
+                        return random.choice(xs)
+                    """,
+                # ``random`` here is a local object, not the stdlib module.
+                "repro/dnn/own_random.py": """
+                    class _R:
+                        def choice(self, xs):
+                            return xs[0]
+
+                    random = _R()
+
+                    def pick(xs):
+                        return random.choice(xs)
+                    """,
+            },
+            rules=[SeededRngRule()],
+        )
+        assert [(f.rule, f.path.endswith("uses_stdlib.py")) for f in findings] == [
+            ("R9", True)
+        ]
+
+    def test_from_random_import_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            "dnn/from_import.py",
+            """
+            from random import shuffle
+
+            def mix(xs):
+                shuffle(xs)
+                return xs
+            """,
+            rules=[SeededRngRule()],
+        )
+        assert codes(findings) == ["R9"]
+
+    def test_generator_annotations_are_fine(self, lint_snippet):
+        findings = lint_snippet(
+            "dnn/annots.py",
+            """
+            import numpy as np
+
+            def noise(rng: np.random.Generator, n: int):
+                return rng.standard_normal(n)
+            """,
+            rules=[SeededRngRule()],
+        )
+        assert findings == []
+
+
+class TestDocstringDemoScan:
+    """R9's docstring pass: demo code is linted like real code."""
+
+    def test_module_docstring_reports_exact_line(self, lint_snippet):
+        source = textwrap.dedent(
+            '''
+            """Demo module.
+
+            Quickstart::
+
+                import numpy as np
+                grads = np.random.randn(100)
+            """
+            '''
+        ).strip()
+        line_of_demo = source.splitlines().index(
+            "    grads = np.random.randn(100)"
+        ) + 1
+        findings = lint_snippet(
+            "core/demo.py", source, rules=[SeededRngRule()]
+        )
+        assert codes(findings) == ["R9"]
+        assert findings[0].line == line_of_demo
+
+    def test_quickstart_regression(self, lint_snippet):
+        """The exact pre-fix repro/__init__.py Quickstart must flag."""
+        findings = lint_snippet(
+            "quickstart_fixture.py",
+            '''
+            """Package docs.
+
+            Quickstart::
+
+                import numpy as np
+                from repro import compress
+
+                grads = (np.random.randn(1_000_000) * 0.01).astype(np.float32)
+                cg = compress(grads)
+            """
+            ''',
+            rules=[SeededRngRule()],
+        )
+        assert codes(findings) == ["R9"]
+        assert "docstring demo code" in findings[0].message
+
+    def test_fixed_quickstart_is_clean(self, lint_snippet):
+        findings = lint_snippet(
+            "quickstart_fixed.py",
+            '''
+            """Package docs.
+
+            Quickstart::
+
+                import numpy as np
+
+                rng = np.random.default_rng(0)
+                grads = (rng.standard_normal(1_000_000) * 0.01).astype(np.float32)
+            """
+            ''',
+            rules=[SeededRngRule()],
+        )
+        assert findings == []
+
+    def test_function_docstring_scanned(self, lint_snippet):
+        findings = lint_snippet(
+            "core/fn_demo.py",
+            '''
+            def helper():
+                """Example::
+
+                    x = np.random.uniform(0, 1)
+                """
+                return None
+            ''',
+            rules=[SeededRngRule()],
+        )
+        assert codes(findings) == ["R9"]
+
+
+# -- R10: iteration order -----------------------------------------------------
+
+
+class TestIterationOrder:
+    def test_for_over_set_literal_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            "network/sched.py",
+            """
+            def schedule(sim):
+                for node in {3, 1, 2}:
+                    sim.enqueue(node)
+            """,
+            rules=[IterationOrderRule()],
+        )
+        assert codes(findings) == ["R10"]
+
+    def test_sorted_wrap_is_the_fix(self, lint_snippet):
+        findings = lint_snippet(
+            "network/sched_ok.py",
+            """
+            def schedule(sim, nodes):
+                for node in sorted(set(nodes)):
+                    sim.enqueue(node)
+            """,
+            rules=[IterationOrderRule()],
+        )
+        assert findings == []
+
+    def test_module_level_set_global_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            "network/globals.py",
+            """
+            KNOWN = {"b", "a"}
+
+            def listing():
+                return [name for name in KNOWN]
+            """,
+            rules=[IterationOrderRule()],
+        )
+        assert codes(findings) == ["R10"]
+
+    def test_set_call_into_list_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            "network/mat.py",
+            """
+            def uniq(xs):
+                return list(set(xs))
+            """,
+            rules=[IterationOrderRule()],
+        )
+        assert codes(findings) == ["R10"]
+
+    def test_join_over_set_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            "network/join.py",
+            """
+            def render(names):
+                return ", ".join(frozenset(names))
+            """,
+            rules=[IterationOrderRule()],
+        )
+        assert codes(findings) == ["R10"]
+
+    def test_order_insensitive_reductions_fine(self, lint_snippet):
+        findings = lint_snippet(
+            "network/reduce.py",
+            """
+            def stats(xs):
+                s = set(xs)
+                return len(s), max(s), sum(s), ("a" in s)
+            """,
+            rules=[IterationOrderRule()],
+        )
+        assert findings == []
+
+    def test_set_annotated_attr_cross_file(self, lint_tree):
+        """Set[...] annotation in one module taints iteration in another."""
+        findings = lint_tree(
+            {
+                "repro/core/facts.py": """
+                    from dataclasses import dataclass, field
+                    from typing import Set
+
+                    @dataclass
+                    class Facts:
+                        registrars: Set[str] = field(default_factory=set)
+                    """,
+                "repro/core/consumer.py": """
+                    def dump(facts):
+                        for name in facts.registrars:
+                            print(name)
+                    """,
+            },
+            rules=[IterationOrderRule()],
+        )
+        assert [(f.rule, f.path.endswith("consumer.py")) for f in findings] == [
+            ("R10", True)
+        ]
+
+    def test_registry_dict_items_flagged_and_sorted_fix(self, lint_snippet):
+        findings = lint_snippet(
+            "core/reg.py",
+            """
+            _REGISTRY = {}
+
+            def register(name, entry):
+                _REGISTRY[name] = entry
+
+            def scan_bad():
+                return [(k, v) for k, v in _REGISTRY.items()]
+
+            def scan_good():
+                return [(k, v) for k, v in sorted(_REGISTRY.items())]
+            """,
+            rules=[IterationOrderRule()],
+        )
+        assert codes(findings) == ["R10"]
+        assert "scan_bad" not in findings[0].message  # location, not name
+        assert findings[0].line < 11  # points at the unsorted scan
+
+    def test_plain_dict_iteration_fine(self, lint_snippet):
+        """Insertion-ordered dicts built locally are deterministic."""
+        findings = lint_snippet(
+            "core/plain.py",
+            """
+            def tally(pairs):
+                acc = {}
+                for key, value in pairs:
+                    acc[key] = value
+                return [k for k in acc]
+            """,
+            rules=[IterationOrderRule()],
+        )
+        assert findings == []
+
+
+# -- R11: mutable defaults ----------------------------------------------------
+
+
+class TestMutableDefaults:
+    @pytest.mark.parametrize(
+        "default", ["[]", "{}", "set()", "list()", "dict()", "[1, 2]"]
+    )
+    def test_public_function_flagged(self, lint_snippet, default):
+        findings = lint_snippet(
+            "transport/api.py",
+            f"""
+            def send(dst, packets={default}):
+                return packets
+            """,
+            rules=[MutableDefaultsRule()],
+        )
+        assert codes(findings) == ["R11"]
+
+    def test_public_method_and_kwonly_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            "transport/meth.py",
+            """
+            class Endpoint:
+                def send(self, dst, *, packets=[]):
+                    return packets
+            """,
+            rules=[MutableDefaultsRule()],
+        )
+        assert codes(findings) == ["R11"]
+        assert "method" in findings[0].message
+
+    def test_private_helper_exempt(self, lint_snippet):
+        findings = lint_snippet(
+            "transport/priv.py",
+            """
+            def _helper(acc=[]):
+                return acc
+            """,
+            rules=[MutableDefaultsRule()],
+        )
+        assert findings == []
+
+    def test_none_sentinel_and_immutables_fine(self, lint_snippet):
+        findings = lint_snippet(
+            "transport/ok.py",
+            """
+            def send(dst, packets=None, flags=(), tag="x", n=0):
+                packets = [] if packets is None else packets
+                return packets, flags, tag, n
+            """,
+            rules=[MutableDefaultsRule()],
+        )
+        assert findings == []
+
+
+def test_default_rules_include_determinism_family():
+    from repro.analysis.rules import default_rules
+
+    codes_present = {r.code for r in default_rules()}
+    assert {"R8", "R9", "R10", "R11"} <= codes_present

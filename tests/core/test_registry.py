@@ -92,3 +92,29 @@ def test_compression_ratio_property():
     assert result.compression_ratio == pytest.approx(
         values.nbytes / result.payload_nbytes
     )
+
+
+# -- listing determinism (rule R10 runtime counterpart) ----------------------
+
+
+def test_listings_are_sorted_not_insertion_ordered():
+    """User-visible registry listings must not leak import order."""
+    from repro.core import available_codecs
+    from repro.distributed import available_strategies
+
+    assert list(available_codecs()) == sorted(available_codecs())
+    assert list(available_strategies()) == sorted(available_strategies())
+
+
+def test_tos_collision_error_names_claimant():
+    """The duplicate-ToS scan reports deterministically regardless of
+    registration order (the scan is sorted)."""
+    from repro.core import codec_tos
+    from repro.core.registry import register_codec
+
+    class _Stub:
+        name = "zz-test-dup"
+
+    taken = codec_tos("inceptionn")
+    with pytest.raises(ValueError, match="already claimed by codec 'inceptionn'"):
+        register_codec(_Stub(), tos=taken)
