@@ -16,10 +16,12 @@ Flags calls to:
 * ``datetime.now`` / ``datetime.utcnow`` / ``datetime.today`` /
   ``date.today`` (including the ``datetime.datetime.now()`` spelling).
 
-The one legitimate consumer is artifact export: a trace file may stamp
-*when it was written* because that metadata never feeds back into
-simulation state.  ``repro.obs.export`` is therefore exempt; everything
-else must thread ``sim.now`` or go without a timestamp.
+The legitimate consumers are artifact export and benchmarking: a trace
+file may stamp *when it was written* because that metadata never feeds
+back into simulation state, and the benchmark harness exists to measure
+host wall-clock throughput.  ``repro.obs.export`` and ``repro.bench``
+are therefore exempt; everything else must thread ``sim.now`` or go
+without a timestamp.
 """
 
 from __future__ import annotations
@@ -49,8 +51,9 @@ TIME_FUNCTIONS = frozenset(
 #: ``datetime``/``date`` constructors that capture the current moment.
 DATETIME_FUNCTIONS = frozenset({"now", "utcnow", "today"})
 
-#: Modules allowed to stamp real time onto exported artifacts.
-EXEMPT_MODULES = frozenset({"repro.obs.export"})
+#: Modules allowed to read the host clock: artifact export (timestamps
+#: on trace files) and the wall-clock benchmark harness.
+EXEMPT_MODULES = frozenset({"repro.obs.export", "repro.bench"})
 
 
 class WallClockRule(Rule):

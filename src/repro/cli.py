@@ -8,6 +8,7 @@ Subcommands
 ``simulate``    per-iteration time of a Fig 12 configuration at paper scale
 ``train``       run the simulated-cluster training demo (any --strategy)
 ``exchange``    paper-scale gradient-exchange timing under any codec
+``bench``       wall-clock benchmark suite, written as BENCH_*.json
 ``codecs``      list registered gradient codecs and their measured ratios
 ``strategies``  list registered gradient strategies (ring, wa, async_ps, ...)
 ``trace``       run / validate / summarize / convert execution traces
@@ -268,17 +269,23 @@ def _cmd_exchange(args: argparse.Namespace) -> int:
     simulate = (
         simulate_ring_exchange if args.algorithm == "ring" else simulate_wa_exchange
     )
-    result = simulate(
-        num_workers=args.workers,
-        nbytes=int(args.mbytes * 1e6),
-        iterations=args.iterations,
-        bandwidth_bps=args.gbps * 1e9,
-        stream=stream,
-        tracer=tracer,
-        loss_rate=args.loss_rate,
-        retransmit=_retransmit_for(args),
-    )
+    try:
+        result = simulate(
+            num_workers=args.workers,
+            nbytes=int(args.mbytes * 1e6),
+            iterations=args.iterations,
+            bandwidth_bps=args.gbps * 1e9,
+            stream=stream,
+            tracer=tracer,
+            loss_rate=args.loss_rate,
+            retransmit=_retransmit_for(args),
+            fidelity=args.fidelity,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"--fidelity: {exc}")
     label = f"{args.algorithm}+{args.codec}" if stream else args.algorithm
+    if args.fidelity != "packet":
+        label = f"{label} [{args.fidelity}]"
     print(
         f"{label} x{args.workers} @ {args.gbps:g} Gb/s, "
         f"{args.mbytes:g} MB gradients:"
@@ -300,6 +307,54 @@ def _cmd_exchange(args: argparse.Namespace) -> int:
         codec=args.codec,
         total_s=result.total_s,
     )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench import (
+        DEFAULT_OUTPUT,
+        compare_bench,
+        find_prior,
+        render_comparison,
+        run_bench,
+        validate_bench,
+    )
+    from repro.report import dumps_strict
+
+    if args.validate is not None:
+        path = Path(args.validate)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+            validate_bench(doc)
+        except (OSError, ValueError) as exc:
+            print(f"{path}: INVALID: {exc}")
+            return 1
+        print(
+            f"{path}: valid {doc['schema']} v{doc['version']}, "
+            f"{len(doc['results'])} entries"
+        )
+        return 0
+
+    doc = run_bench(quick=args.quick)
+    validate_bench(doc)
+    output = Path(args.out) if args.out else Path(DEFAULT_OUTPUT)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(dumps_strict(doc, indent=2) + "\n", encoding="utf-8")
+    mode = "quick" if args.quick else "full"
+    print(f"wrote {output} ({mode} suite, {len(doc['results'])} entries)")
+    for entry in doc["results"]:
+        print(f"  {entry['name']:<32} {entry['wall_s'] * 1e3:10.2f} ms")
+    prior_path = find_prior(output)
+    if prior_path is not None:
+        try:
+            prior = json.loads(prior_path.read_text(encoding="utf-8"))
+            validate_bench(prior)
+        except ValueError as exc:
+            print(f"prior {prior_path} skipped: {exc}")
+            return 0
+        print(render_comparison(compare_bench(doc, prior), prior_path.name))
     return 0
 
 
@@ -567,9 +622,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--codec", default=None, metavar="NAME",
         help="registered codec for the gradient stream (see `repro codecs`)",
     )
+    p.add_argument(
+        "--fidelity", default="packet", choices=("packet", "flow"),
+        help="packet: event-level simulation; flow: calibrated "
+        "flow-level fast path for large worker counts",
+    )
     _add_loss_arguments(p)
     _add_trace_arguments(p)
     p.set_defaults(func=_cmd_exchange)
+
+    p = sub.add_parser(
+        "bench", help="wall-clock benchmark suite (BENCH_*.json artifact)"
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="smaller sample sizes and scales (the CI configuration)",
+    )
+    p.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="output artifact path (default: BENCH_8.json)",
+    )
+    p.add_argument(
+        "--validate", default=None, metavar="FILE",
+        help="validate an existing bench artifact and exit",
+    )
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("codecs", help="list registered gradient codecs")
     p.add_argument("--seed", type=int, default=0)

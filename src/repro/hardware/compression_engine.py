@@ -16,11 +16,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.bitstream import BitWriter
 from repro.core.bounds import ErrorBound
+from repro.core.codec import compress as codec_compress
 from repro.core.container import GROUP_TAG_BITS
 
-from .axi import BURST_BITS, WORDS_PER_BURST, iter_word_bursts
+from .axi import BURST_BITS, WORDS_PER_BURST, BurstError, iter_word_bursts
 from .blocks import CompressionBlock
 
 #: Reference-design clock (paper Sec. VII-C: 100 MHz, bandwidth-neutral).
@@ -99,6 +102,37 @@ class CompressionEngine:
 
         Returns the compressed bitstream (the NIC reattaches it as the
         packet's new payload) and the pass statistics.
+
+        This is the bulk path: the vectorized software codec produces
+        the stream and the stats are computed in closed form.  It is
+        pinned byte- and stats-identical to the burst-by-burst
+        behavioural model, which remains available as
+        :meth:`compress_structural`.
+        """
+        if len(payload) % 4:
+            raise BurstError(
+                "compressible payload must be whole float32 words, "
+                f"got {len(payload)} bytes"
+            )
+        stats = EngineStats()
+        values = np.frombuffer(payload, dtype="<f4")
+        compressed = codec_compress(values, self.bound)
+        data = compressed.to_bytes()
+        num_words = int(values.shape[0])
+        stats.bursts_in = -(-num_words // WORDS_PER_BURST)
+        stats.bits_out = compressed.compressed_bits
+        stats.bursts_out = stats.bits_out // BURST_BITS
+        stats.cycles = self._cycles_for(stats.bursts_in)
+        self._count_lane_words(num_words)
+        self.total_cycles += stats.cycles
+        self.total_bursts += stats.bursts_in
+        return data, stats
+
+    def compress_structural(self, payload: bytes) -> "tuple[bytes, EngineStats]":
+        """Burst-by-burst behavioural model (one CB lane per word).
+
+        Drop-in equivalent of :meth:`compress`; kept as the structural
+        reference the bulk path is validated against.
         """
         stats = EngineStats()
         align = AlignmentUnit()
@@ -113,6 +147,16 @@ class CompressionEngine:
         return data, stats
 
     # -- internals -------------------------------------------------------------
+
+    def _count_lane_words(self, num_words: int) -> None:
+        """Attribute ``num_words`` round-robin words to the CB lanes."""
+        lane_counts = np.full(
+            WORDS_PER_BURST, num_words // WORDS_PER_BURST, dtype=np.int64
+        )
+        lane_counts[: num_words % WORDS_PER_BURST] += 1
+        lanes = np.arange(WORDS_PER_BURST, dtype=np.int64) % self.num_blocks
+        for lane, count in zip(lanes, lane_counts):
+            self.blocks[int(lane)].words_processed += int(count)
 
     def _process_group(
         self, burst: Sequence[int], align: AlignmentUnit, stats: EngineStats

@@ -16,9 +16,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+import numpy as np
+
 from repro.core.bitstream import BitReader
 from repro.core.bounds import ErrorBound
-from repro.core.container import GROUP_SIZE, GROUP_TAG_BITS
+from repro.core.codec import decompress as codec_decompress
+from repro.core.container import (
+    GROUP_SIZE,
+    GROUP_TAG_BITS,
+    CompressedGradients,
+    TruncatedRecordError,
+    scan_group_offsets,
+    unpack_group_records,
+)
 from repro.core.tags import PAYLOAD_BITS
 
 from .axi import BURST_BITS, WORDS_PER_BURST, words_to_bytes
@@ -107,6 +117,53 @@ class DecompressionEngine:
         ``num_values`` trims the final group's padding lanes; without it
         the output length is rounded up to a whole group (the hardware
         behaviour — the host's receive buffer length does the trimming).
+
+        This is the bulk path: the group records are located and decoded
+        with the vectorized container kernels and the stats computed in
+        closed form.  It is pinned byte- and stats-identical to the
+        burst-by-burst behavioural model, which remains available as
+        :meth:`decompress_structural`.
+        """
+        stats = EngineStats()
+        try:
+            offsets = scan_group_offsets(data)
+        except TruncatedRecordError as exc:
+            raise DecompressionError(
+                f"compressed stream truncated inside group {exc.group}"
+            ) from exc
+        tags, payloads = unpack_group_records(data, offsets)
+        groups = int(offsets.shape[0]) - 1
+        consumed = int(offsets[-1])
+        compressed = CompressedGradients(
+            tags=tags, payloads=payloads, bound=self.bound
+        )
+        values = codec_decompress(compressed)
+        word_bits = values.view(np.uint32)
+        if num_values is not None:
+            if num_values > groups * GROUP_SIZE:
+                raise DecompressionError(
+                    f"stream holds {groups * GROUP_SIZE} values, "
+                    f"caller expected {num_values}"
+                )
+            if np.any(word_bits[num_values:]):
+                raise DecompressionError("non-zero padding lanes in final group")
+            values = values[:num_values]
+        stats.bursts_out = groups
+        stats.bursts_in = -(-consumed * 8 // BURST_BITS)
+        stats.bits_out = int(values.shape[0]) * 32
+        stats.cycles = self._cycles_for(groups)
+        self._count_lane_words(groups)
+        self.total_cycles += stats.cycles
+        self.total_groups += groups
+        return values.tobytes(), stats
+
+    def decompress_structural(
+        self, data: bytes, num_values: Optional[int] = None
+    ) -> "tuple[bytes, EngineStats]":
+        """Burst-by-burst behavioural model (one DB lane per word).
+
+        Drop-in equivalent of :meth:`decompress`; kept as the structural
+        reference the bulk path is validated against.
         """
         stats = EngineStats()
         buffer = BurstBuffer(data)
@@ -142,6 +199,12 @@ class DecompressionEngine:
         self.total_cycles += stats.cycles
         self.total_groups += groups
         return words_to_bytes(words), stats
+
+    def _count_lane_words(self, groups: int) -> None:
+        """Attribute ``groups`` full groups of words to the DB lanes."""
+        lanes = np.arange(WORDS_PER_BURST, dtype=np.int64) % self.num_blocks
+        for lane in lanes:
+            self.blocks[int(lane)].words_produced += groups
 
     def _cycles_for(self, groups: int) -> int:
         if groups == 0:

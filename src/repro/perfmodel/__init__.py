@@ -31,6 +31,11 @@ from .exchange import (
     simulate_ring_exchange,
     simulate_wa_exchange,
 )
+from .flowsim import (
+    FlowFabric,
+    simulate_ring_exchange_flow,
+    simulate_wa_exchange_flow,
+)
 
 __all__ = [
     "CostParameters",
@@ -58,4 +63,7 @@ __all__ = [
     "measure_profile_ratio",
     "simulate_ring_exchange",
     "simulate_wa_exchange",
+    "FlowFabric",
+    "simulate_ring_exchange_flow",
+    "simulate_wa_exchange_flow",
 ]

@@ -100,6 +100,19 @@ class ExchangeResult:
         return self.sent_nbytes / self.wire_payload_nbytes
 
 
+def _check_flow_supported(
+    tracer: Optional[Tracer],
+    loss_rate: float,
+    retransmit: Optional[RetransmitPolicy],
+) -> None:
+    """Flow fidelity models lossless untraced fabrics only."""
+    if tracer is not None or loss_rate != 0.0 or retransmit is not None:
+        raise ValueError(
+            "fidelity='flow' does not model tracing, loss or "
+            "retransmission; use fidelity='packet' for those studies"
+        )
+
+
 def _make_comm(
     num_nodes: int,
     bandwidth_bps: float,
@@ -142,23 +155,50 @@ def simulate_wa_exchange(
     loss_rate: float = 0.0,
     loss_seed: int = 0,
     retransmit: Optional[RetransmitPolicy] = None,
+    fidelity: str = "packet",
 ) -> ExchangeResult:
     """Worker-aggregator iterations: gather g up, sum, update, scatter w.
 
     Only the gradient leg may compress (``stream``, or the convenience
     ``compress_gradients`` flag which resolves to the INCEPTIONN
     profile at ``bound``); the weight leg is always raw.  With a
-    ``stream`` and no ``gradient_ratio``, the codec's ratio is measured
-    on a sampled gradient.  ``include_local_compute`` prepends each
-    iteration's forward/backward/copy time (for full-iteration studies
-    like Table II); exchange-only studies (Fig 15) leave it off.
+    compressing stream and no ``gradient_ratio``, the codec's ratio is
+    measured on a sampled gradient — including when the stream came
+    from ``compress_gradients=True`` (historically that path silently
+    simulated uncompressed traffic).  ``include_local_compute``
+    prepends each iteration's forward/backward/copy time (for
+    full-iteration studies like Table II); exchange-only studies
+    (Fig 15) leave it off.  ``fidelity="flow"`` switches to the
+    vectorized flow-level model (:mod:`repro.perfmodel.flowsim`) for
+    large sweeps; it rejects tracing/loss/retransmission.
     """
     if num_workers < 2:
         raise ValueError("need at least two workers")
     aggregator = num_workers
-    explicit_stream = stream
     if stream is None and compress_gradients:
         stream = inceptionn_profile(bound)
+    if stream is not None and gradient_ratio is None:
+        gradient_ratio = measure_profile_ratio(stream)
+    if fidelity == "flow":
+        _check_flow_supported(tracer, loss_rate, retransmit)
+        from .flowsim import simulate_wa_exchange_flow
+
+        return simulate_wa_exchange_flow(
+            num_workers,
+            nbytes,
+            iterations=iterations,
+            bandwidth_bps=bandwidth_bps,
+            profile=profile,
+            stream=stream,
+            gradient_ratio=gradient_ratio,
+            bound=bound,
+            include_local_compute=include_local_compute,
+            train_packets=train_packets,
+        )
+    if fidelity != "packet":
+        raise ValueError(
+            f"fidelity must be 'packet' or 'flow', got {fidelity!r}"
+        )
     comm = _make_comm(
         num_workers + 1,
         bandwidth_bps,
@@ -170,8 +210,6 @@ def simulate_wa_exchange(
         loss_seed=loss_seed,
         retransmit=retransmit,
     )
-    if explicit_stream is not None and gradient_ratio is None:
-        gradient_ratio = measure_profile_ratio(explicit_stream)
     sums = {"sum_s": 0.0, "update_s": 0.0}
 
     def worker(i: int):
@@ -264,17 +302,44 @@ def simulate_ring_exchange(
     loss_rate: float = 0.0,
     loss_seed: int = 0,
     retransmit: Optional[RetransmitPolicy] = None,
+    fidelity: str = "packet",
 ) -> ExchangeResult:
     """Ring iterations at paper scale (every hop on the gradient stream).
 
     ``stream`` selects the codec profile (any registered codec); with no
-    ``gradient_ratio`` its ratio is measured on a sampled gradient.
+    ``gradient_ratio`` its ratio is measured on a sampled gradient —
+    including the stream ``compress_gradients=True`` resolves to.
+    ``fidelity="flow"`` switches to the vectorized flow-level model
+    (:mod:`repro.perfmodel.flowsim`), which on the ring's
+    contention-free star fabric reproduces packet timing to
+    floating-point noise while reaching 1024-4096 workers in seconds.
     """
     if num_workers < 2:
         raise ValueError("need at least two workers")
-    explicit_stream = stream
     if stream is None and compress_gradients:
         stream = inceptionn_profile(bound)
+    if stream is not None and gradient_ratio is None:
+        gradient_ratio = measure_profile_ratio(stream)
+    if fidelity == "flow":
+        _check_flow_supported(tracer, loss_rate, retransmit)
+        from .flowsim import simulate_ring_exchange_flow
+
+        return simulate_ring_exchange_flow(
+            num_workers,
+            nbytes,
+            iterations=iterations,
+            bandwidth_bps=bandwidth_bps,
+            profile=profile,
+            stream=stream,
+            gradient_ratio=gradient_ratio,
+            bound=bound,
+            include_local_compute=include_local_compute,
+            train_packets=train_packets,
+        )
+    if fidelity != "packet":
+        raise ValueError(
+            f"fidelity must be 'packet' or 'flow', got {fidelity!r}"
+        )
     comm = _make_comm(
         num_workers,
         bandwidth_bps,
@@ -286,8 +351,6 @@ def simulate_ring_exchange(
         loss_seed=loss_seed,
         retransmit=retransmit,
     )
-    if explicit_stream is not None and gradient_ratio is None:
-        gradient_ratio = measure_profile_ratio(explicit_stream)
     block_bytes = [s * 4 for s in ring_exchange_sizes(num_workers, nbytes // 4)]
     sums = {"sum_s": 0.0, "update_s": 0.0}
 

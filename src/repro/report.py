@@ -8,7 +8,9 @@ script ``tools/regenerate_report.py`` serializes to JSON.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+import json
+import math
+from typing import Any, Dict, Sequence
 
 import numpy as np
 
@@ -25,6 +27,32 @@ from repro.perfmodel import (
 
 #: Models used in the timing experiments.
 TIMING_MODELS = ("AlexNet", "HDC", "ResNet-50", "VGG-16")
+
+
+def json_safe(obj: Any) -> Any:
+    """Recursively replace non-finite floats with ``None``.
+
+    ``wire_ratio`` (and friends) legitimately evaluate to ``inf`` on
+    zero-byte transfers, but ``json.dumps`` would emit the non-standard
+    ``Infinity`` token that strict parsers reject.  All report/bench
+    JSON is routed through here so non-finite values become ``null``.
+    Numpy scalars are converted to native Python numbers on the way.
+    """
+    if isinstance(obj, dict):
+        return {k: json_safe(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [json_safe(v) for v in obj]
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, (float, np.floating)):
+        value = float(obj)
+        return value if math.isfinite(value) else None
+    return obj
+
+
+def dumps_strict(obj: Any, **kwargs: Any) -> str:
+    """``json.dumps`` with ``allow_nan=False`` after :func:`json_safe`."""
+    return json.dumps(json_safe(obj), allow_nan=False, **kwargs)
 
 
 def fig12_report(num_workers: int = 4) -> Dict:

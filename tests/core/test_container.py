@@ -4,6 +4,9 @@ import numpy as np
 import pytest
 
 from repro.core import CompressedGradients, ErrorBound, compress, decompress
+from repro.core.bitstream import BitWriter
+from repro.core.container import GROUP_SIZE, GROUP_TAG_BITS
+from repro.core.tags import PAYLOAD_BITS
 
 BOUND = ErrorBound(10)
 
@@ -12,6 +15,26 @@ def _compress_random(n, seed=0, scale=0.3):
     rng = np.random.default_rng(seed)
     values = (rng.standard_normal(n) * scale).astype(np.float32)
     return values, compress(values, BOUND)
+
+
+def _scalar_to_bytes(cg):
+    """Per-lane BitWriter reference the bulk serializer is pinned to."""
+    writer = BitWriter()
+    n = len(cg)
+    for g in range(-(-n // GROUP_SIZE)):
+        tag_word = 0
+        for lane in range(GROUP_SIZE):
+            i = g * GROUP_SIZE + lane
+            tag = int(cg.tags[i]) if i < n else 0
+            tag_word |= (tag & 0b11) << (2 * lane)
+        writer.write(tag_word, GROUP_TAG_BITS)
+        for lane in range(GROUP_SIZE):
+            i = g * GROUP_SIZE + lane
+            if i < n:
+                nbits = PAYLOAD_BITS[int(cg.tags[i])]
+                if nbits:
+                    writer.write(int(cg.payloads[i]), nbits)
+    return writer.getvalue()
 
 
 @pytest.mark.parametrize("n", [0, 1, 7, 8, 9, 64, 1000])
@@ -76,3 +99,47 @@ def test_multidimensional_tags_rejected():
 def test_original_nbytes():
     _, cg = _compress_random(100)
     assert cg.original_nbytes == 400
+
+
+@pytest.mark.parametrize("n", [0, 1, 3, 7, 8, 9, 17, 100, 1000, 4097])
+@pytest.mark.parametrize("scale", [0.0001, 0.004, 0.3, 2.0])
+def test_vectorized_to_bytes_matches_scalar_reference(n, scale):
+    # The scales sweep the tag mix from mostly-ZERO to mostly-BIT32.
+    _, cg = _compress_random(n, seed=n, scale=scale)
+    assert cg.to_bytes() == _scalar_to_bytes(cg)
+
+
+@pytest.mark.parametrize("scale", [0.0001, 0.004, 0.3, 2.0])
+def test_vectorized_from_bytes_matches_scalar_reference(scale):
+    _, cg = _compress_random(777, seed=1, scale=scale)
+    back = CompressedGradients.from_bytes(_scalar_to_bytes(cg), 777, BOUND)
+    assert np.array_equal(back.tags, cg.tags)
+    assert np.array_equal(back.payloads, cg.payloads)
+
+
+def test_from_bytes_allows_single_padding_byte():
+    # A stream may end on a partial byte, so up to one byte of padding
+    # after the final group record is legitimate framing slack.
+    _, cg = _compress_random(16, seed=2)
+    back = CompressedGradients.from_bytes(cg.to_bytes() + b"\x00", 16, BOUND)
+    assert np.array_equal(back.tags, cg.tags)
+
+
+def test_from_bytes_rejects_surplus_bytes():
+    # Regression: trailing garbage beyond the padding byte used to be
+    # silently ignored, hiding mis-framed or corrupt wire buffers.
+    _, cg = _compress_random(16, seed=2)
+    with pytest.raises(ValueError, match="surplus"):
+        CompressedGradients.from_bytes(cg.to_bytes() + b"\x00\x00", 16, BOUND)
+
+
+def test_from_bytes_rejects_truncated_record():
+    _, cg = _compress_random(64, seed=3)
+    with pytest.raises(EOFError):
+        CompressedGradients.from_bytes(cg.to_bytes()[:-3], 64, BOUND)
+
+
+def test_from_bytes_rejects_too_few_groups():
+    _, cg = _compress_random(8, seed=4)
+    with pytest.raises(EOFError, match="group records"):
+        CompressedGradients.from_bytes(cg.to_bytes(), 16, BOUND)

@@ -132,3 +132,58 @@ def test_extreme_values_survive_hardware_path():
     out = np.frombuffer(restored, dtype=np.float32)
     assert out[0] == np.inf and out[1] == -np.inf and np.isnan(out[2])
     assert out[6] == 1.0 and out[7] == -1.0
+
+
+class TestBulkStructuralEquivalence:
+    """The vectorized fast paths are pinned to the burst-level models."""
+
+    @pytest.mark.parametrize("n", [0, 1, 7, 8, 9, 100, 1000])
+    @pytest.mark.parametrize("num_blocks", [8, 3])
+    def test_compress_paths_agree(self, n, num_blocks):
+        _, payload = _gradient_bytes(n, seed=n)
+        bulk = CompressionEngine(BOUND, num_blocks=num_blocks)
+        structural = CompressionEngine(BOUND, num_blocks=num_blocks)
+        data_b, stats_b = bulk.compress(payload)
+        data_s, stats_s = structural.compress_structural(payload)
+        assert data_b == data_s
+        assert stats_b.bursts_in == stats_s.bursts_in
+        assert stats_b.bursts_out == stats_s.bursts_out
+        assert stats_b.bits_out == stats_s.bits_out
+        assert stats_b.cycles == stats_s.cycles
+        assert bulk.total_cycles == structural.total_cycles
+        assert bulk.total_bursts == structural.total_bursts
+        assert [b.words_processed for b in bulk.blocks] == [
+            b.words_processed for b in structural.blocks
+        ]
+
+    @pytest.mark.parametrize("n", [0, 1, 7, 8, 9, 100, 1000])
+    @pytest.mark.parametrize("num_blocks", [8, 3])
+    def test_decompress_paths_agree(self, n, num_blocks):
+        values, payload = _gradient_bytes(n, seed=n + 50)
+        stream = compress(values, BOUND).to_bytes()
+        bulk = DecompressionEngine(BOUND, num_blocks=num_blocks)
+        structural = DecompressionEngine(BOUND, num_blocks=num_blocks)
+        data_b, stats_b = bulk.decompress(stream, num_values=n)
+        data_s, stats_s = structural.decompress_structural(
+            stream, num_values=n
+        )
+        assert data_b == data_s
+        assert stats_b.bursts_in == stats_s.bursts_in
+        assert stats_b.bursts_out == stats_s.bursts_out
+        assert stats_b.bits_out == stats_s.bits_out
+        assert stats_b.cycles == stats_s.cycles
+        assert bulk.total_cycles == structural.total_cycles
+        assert bulk.total_groups == structural.total_groups
+        assert [b.words_produced for b in bulk.blocks] == [
+            b.words_produced for b in structural.blocks
+        ]
+
+    def test_bulk_compress_rejects_ragged_payload(self):
+        with pytest.raises(BurstError):
+            CompressionEngine(BOUND).compress(b"\x00" * 7)
+
+    def test_bulk_decompress_truncation_message_names_group(self):
+        values, _ = _gradient_bytes(64, seed=9)
+        stream = compress(values, BOUND).to_bytes()
+        with pytest.raises(DecompressionError, match="group"):
+            DecompressionEngine(BOUND).decompress(stream[:-3], num_values=64)

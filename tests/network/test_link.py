@@ -86,3 +86,50 @@ def test_zero_byte_transmit_is_latency_only():
     delivered.add_callback(lambda ev: times.append(sim.now))
     sim.run()
     assert times == [pytest.approx(3e-6)]
+
+
+def test_zero_byte_keyed_transmit_fires_at_instant_end():
+    """Regression: a keyed zero-byte transmit on a zero-latency link.
+
+    Arbitrated grants run at instant end, and ``_grant_pending``
+    schedules the completion callbacks with ``call_at(now)`` — events
+    landing on the *current* instant must still fire instead of being
+    skipped by the drained-instant bookkeeping.
+    """
+    sim = Simulation()
+    link = Link(sim, bandwidth_bps=8e9, latency_s=0.0)
+    times = {}
+    sent, delivered = link.transmit(0, key=(0,))
+    sent.add_callback(lambda ev: times.setdefault("sent", sim.now))
+    delivered.add_callback(lambda ev: times.setdefault("delivered", sim.now))
+    sim.run()
+    assert times == {"sent": 0.0, "delivered": 0.0}
+
+
+def test_zero_byte_keyed_transmit_unblocks_waiting_process():
+    sim = Simulation()
+    link = Link(sim, bandwidth_bps=8e9, latency_s=2e-6)
+
+    def proc():
+        _, delivered = link.transmit(0, key=("z",))
+        yield delivered
+        return sim.now
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == pytest.approx(2e-6)
+
+
+def test_same_instant_zero_byte_grants_follow_key_order():
+    sim = Simulation()
+    link = Link(sim, bandwidth_bps=8e9, latency_s=0.0)
+    order = []
+    # Issued in reverse key order; arbitration must re-sort by key, so
+    # the non-zero frame under key 0 serializes ahead of the zero-byte
+    # frames even though it was requested last.
+    for key, nbytes in ((2, 0), (1, 0), (0, 1000)):
+        _, delivered = link.transmit(nbytes, key=(key,))
+        delivered.add_callback(lambda ev, k=key: order.append((k, sim.now)))
+    sim.run()
+    assert [k for k, _ in order] == [0, 1, 2]
+    assert all(t == pytest.approx(1e-6) for _, t in order)

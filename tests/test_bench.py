@@ -1,0 +1,130 @@
+"""Bench artifact schema, comparator, and strict-JSON serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    BENCH_VERSION,
+    compare_bench,
+    find_prior,
+    render_comparison,
+    validate_bench,
+)
+from repro.perfmodel import ExchangeResult
+from repro.report import dumps_strict, json_safe
+
+
+def _doc(sequence=8, names=("codec.compress", "exchange.ring.flow.w4")):
+    return {
+        "schema": BENCH_SCHEMA,
+        "version": BENCH_VERSION,
+        "sequence": sequence,
+        "quick": True,
+        "results": [
+            {"name": name, "wall_s": 0.001 * (i + 1), "meta": {"n": i}}
+            for i, name in enumerate(names)
+        ],
+    }
+
+
+class TestValidateBench:
+    def test_valid_document_passes(self):
+        validate_bench(_doc())
+
+    @pytest.mark.parametrize(
+        "mutate, message",
+        [
+            (lambda d: d.update(schema="other"), "schema"),
+            (lambda d: d.update(version=99), "version"),
+            (lambda d: d.update(sequence=-1), "sequence"),
+            (lambda d: d.update(quick="yes"), "quick"),
+            (lambda d: d.update(results=[]), "results"),
+            (lambda d: d["results"][0].pop("name"), "name"),
+            (lambda d: d["results"][0].update(wall_s=-0.1), "wall_s"),
+            (
+                lambda d: d["results"][0].update(wall_s=float("nan")),
+                "wall_s",
+            ),
+            (lambda d: d["results"][0].update(meta=None), "meta"),
+        ],
+    )
+    def test_broken_documents_rejected(self, mutate, message):
+        doc = _doc()
+        mutate(doc)
+        with pytest.raises(ValueError, match=message):
+            validate_bench(doc)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            validate_bench(_doc(names=("a", "a")))
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError):
+            validate_bench([1, 2, 3])
+
+
+class TestComparator:
+    def test_find_prior_picks_largest_smaller_suffix(self, tmp_path):
+        for seq in (5, 7, 8, 9):
+            (tmp_path / f"BENCH_{seq}.json").write_text("{}")
+        (tmp_path / "BENCH_x.json").write_text("{}")
+        assert find_prior(tmp_path / "BENCH_8.json").name == "BENCH_7.json"
+
+    def test_find_prior_none_when_first(self, tmp_path):
+        (tmp_path / "BENCH_8.json").write_text("{}")
+        assert find_prior(tmp_path / "BENCH_8.json") is None
+
+    def test_compare_matches_shared_names_only(self):
+        current = _doc(names=("a", "b"))
+        prior = _doc(sequence=7, names=("b", "c"))
+        rows = compare_bench(current, prior)
+        assert rows == [("b", 0.001, 0.002)]
+
+    def test_render_comparison_reports_percent_delta(self):
+        text = render_comparison([("a", 0.002, 0.001)], "BENCH_7.json")
+        assert "BENCH_7.json" in text
+        assert "-50.0%" in text
+
+    def test_render_comparison_without_overlap(self):
+        assert "no overlapping" in render_comparison([], "BENCH_7.json")
+
+
+class TestStrictJson:
+    def test_non_finite_floats_become_null(self):
+        doc = {
+            "inf": float("inf"),
+            "nested": [float("nan"), {"neg": float("-inf")}, 1.5],
+        }
+        text = dumps_strict(doc)
+        assert json.loads(text) == {
+            "inf": None,
+            "nested": [None, {"neg": None}, 1.5],
+        }
+        assert "Infinity" not in text and "NaN" not in text
+
+    def test_numpy_scalars_are_converted(self):
+        safe = json_safe({"a": np.float64("inf"), "b": np.int64(3)})
+        assert safe == {"a": None, "b": 3}
+        assert isinstance(safe["b"], int)
+
+    def test_infinite_wire_ratio_serializes_as_null(self):
+        # Regression: wire_ratio is inf when bytes were sent but none
+        # hit the wire log; json.dumps used to emit the non-standard
+        # ``Infinity`` token that strict JSON parsers reject.
+        result = ExchangeResult(
+            algorithm="ring",
+            num_workers=2,
+            nbytes=10,
+            iterations=1,
+            total_s=1.0,
+            gradient_sum_s=0.0,
+            update_s=0.0,
+            sent_nbytes=10,
+            wire_payload_nbytes=0,
+        )
+        assert result.wire_ratio == float("inf")
+        text = dumps_strict({"wire_ratio": result.wire_ratio})
+        assert json.loads(text) == {"wire_ratio": None}

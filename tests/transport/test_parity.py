@@ -50,12 +50,17 @@ FUNCTIONAL_PINS = {
     },
 }
 
-#: Sized 4-worker exchanges of a 2 MB gradient at defaults.
+#: Sized 4-worker exchanges of a 2 MB gradient at defaults.  The
+#: ``*_compress_flag`` pins equal the ``*_stream`` pins: passing
+#: ``compress_gradients=True`` is defined as shorthand for
+#: ``stream=inceptionn_profile(bound)``, including the measured wire
+#: ratio.  (The original flag pins encoded a bug where the flag path
+#: skipped the ratio measurement and shipped uncompressed bytes.)
 SIZED_NBYTES = 2_000_000
 SIZED_PINS = {
-    "ring_compress_flag": 0.002495629925,
+    "ring_compress_flag": 0.0010200819000000007,
     "ring_raw": 0.0025261727999999995,
-    "wa_compress_flag": 0.012276593474999998,
+    "wa_compress_flag": 0.009243397725000001,
     "wa_raw": 0.013285894399999998,
     "ring_stream": 0.0010200819000000007,
     "wa_stream": 0.009243397725000001,
@@ -144,6 +149,22 @@ class TestSizedExchangeParity:
             kwargs = {"stream": inceptionn_profile()}
         result = simulate(4, SIZED_NBYTES, **kwargs)
         assert result.total_s == pytest.approx(SIZED_PINS[key], rel=REL)
+
+    @pytest.mark.parametrize(
+        "simulate", [simulate_ring_exchange, simulate_wa_exchange]
+    )
+    def test_compress_flag_equals_explicit_stream(self, simulate):
+        # Regression: the flag path used to skip the stream-ratio
+        # measurement (it only ran for explicitly passed streams), so
+        # compress_gradients=True silently sent uncompressed bytes.
+        flagged = simulate(4, SIZED_NBYTES, compress_gradients=True)
+        streamed = simulate(4, SIZED_NBYTES, stream=inceptionn_profile())
+        assert flagged.total_s == streamed.total_s
+        assert flagged.sent_nbytes == streamed.sent_nbytes
+        assert flagged.wire_payload_nbytes == streamed.wire_payload_nbytes
+        # Compression actually reached the wire (WA stays below the
+        # codec ratio because its scatter phase ships raw floats).
+        assert flagged.wire_ratio == streamed.wire_ratio > 1.5
 
     def test_stream_exchange_reports_wire_compression(self):
         result = simulate_ring_exchange(

@@ -9,17 +9,16 @@ EXPERIMENTS.md; the accuracy experiments (real training) are run by the
 benches (`pytest benchmarks/ -s`).
 """
 
-import json
 import sys
 from pathlib import Path
 
-from repro.report import full_report
+from repro.report import dumps_strict, full_report
 
 
 def main() -> int:
     output = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("report.json")
     report = full_report()
-    output.write_text(json.dumps(report, indent=2, sort_keys=True))
+    output.write_text(dumps_strict(report, indent=2, sort_keys=True))
     print(f"wrote {output} ({output.stat().st_size} bytes)")
     return 0
 
