@@ -14,6 +14,11 @@ detail).  It must annotate its return type and every parameter;
 ``strict=True`` (used by the test suite to mirror mypy's
 ``disallow_untyped_defs`` on the strict packages) additionally covers
 private and dunder functions.
+
+The rule also guards the network package's documentation discipline:
+every module in ``docstring_packages`` (default: ``network``) must open
+with a non-empty module docstring — the place each file states its
+delivery/ordering/time invariants (see DESIGN.md "Multi-tier fabric").
 """
 
 from __future__ import annotations
@@ -49,14 +54,31 @@ class AnnotationsRule(Rule):
         self,
         strict: bool = False,
         packages: Optional[Sequence[str]] = None,
+        docstring_packages: Sequence[str] = ("network",),
     ) -> None:
         self.strict = strict
         self.packages = tuple(packages) if packages is not None else None
+        self.docstring_packages = tuple(docstring_packages)
 
     def applies_to(self, ctx: RuleContext) -> bool:
         if self.packages is None:
             return True
-        return ctx.package in self.packages
+        return (
+            ctx.package in self.packages
+            or ctx.package in self.docstring_packages
+        )
+
+    def visit_Module(self, node: ast.Module, ctx: RuleContext) -> None:
+        if ctx.package not in self.docstring_packages:
+            return
+        doc = ast.get_docstring(node)
+        if doc is None or not doc.strip():
+            ctx.report(
+                node,
+                f"module {ctx.module!r} must open with a docstring stating "
+                "its invariants (required throughout the "
+                f"{ctx.package!r} package)",
+            )
 
     def visit_FunctionDef(
         self, node: ast.FunctionDef, ctx: RuleContext
@@ -69,6 +91,9 @@ class AnnotationsRule(Rule):
         self._check(node, ctx)
 
     def _check(self, node: _FunctionDef, ctx: RuleContext) -> None:
+        if self.packages is not None and ctx.package not in self.packages:
+            # This file is visited only for the docstring requirement.
+            return
         parent = ctx.parent(node)
         nested = isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef))
         if not self.strict:

@@ -2,7 +2,7 @@
 
 Runs a fixed suite — codec encode/decode throughput, packet-vs-flow
 exchange wall-clock at several scales, and strategy smoke timings — and
-writes a schema-versioned JSON artifact (``BENCH_8.json`` at the repo
+writes a schema-versioned JSON artifact (``BENCH_9.json`` at the repo
 root by default) so the performance trajectory is tracked PR over PR.
 A comparator reports per-entry deltas against the most recent prior
 ``BENCH_*.json`` found next to the output file.
@@ -26,7 +26,7 @@ import numpy as np
 BENCH_SCHEMA = "repro.bench"
 BENCH_VERSION = 1
 #: Stacked-PR sequence number, also the default artifact suffix.
-BENCH_SEQUENCE = 8
+BENCH_SEQUENCE = 9
 DEFAULT_OUTPUT = f"BENCH_{BENCH_SEQUENCE}.json"
 
 _BENCH_NAME = re.compile(r"^BENCH_(\d+)\.json$")
@@ -116,6 +116,61 @@ def _exchange_entries(quick: bool) -> List[Dict[str, Any]]:
     return entries
 
 
+def _contention_entries(quick: bool) -> List[Dict[str, Any]]:
+    """Fig-15-style contention study on a shared k=4 fat-tree.
+
+    Six foreground workers span two pods (so the ring shares pod-1
+    edge/agg uplinks with the tenants); two background tenants — a
+    training job and an inference service — compete for those links.
+    Three conditions: dedicated fabric, FIFO sharing, and strict
+    per-ToS priority queues protecting the exchange.  Small trains
+    (128 packets) give the priority scheduler preemption points;
+    ``simulated_s`` is the number the study is about, wall time is
+    tracked like every other entry.
+    """
+    from repro.network import parse_tenants
+    from repro.perfmodel import simulate_ring_exchange
+
+    nbytes = 1_000_000 if quick else 2_000_000
+    tenants = parse_tenants("train:4,infer:4")
+    conditions = (
+        ("idle", (), False),
+        ("fifo", tenants, False),
+        ("priority", tenants, True),
+    )
+    entries = []
+    for label, active, prioritize in conditions:
+        result: Dict[str, Any] = {}
+
+        def run() -> None:
+            r = simulate_ring_exchange(
+                6,
+                nbytes,
+                topology="fat-tree:k=4",
+                tenants=active,
+                prioritize=prioritize,
+                tenant_seed=3,
+                train_packets=128,
+            )
+            result["simulated_s"] = r.total_s
+            result["background_messages"] = r.background_messages
+
+        wall = _timed(run, repeats=1)
+        entries.append(
+            _entry(
+                f"contention.fat-tree.{label}",
+                wall,
+                workers=6,
+                nbytes=nbytes,
+                tenants=len(active),
+                prioritize=prioritize,
+                simulated_s=result["simulated_s"],
+                background_messages=result["background_messages"],
+            )
+        )
+    return entries
+
+
 def _strategy_entries(quick: bool) -> List[Dict[str, Any]]:
     """End-to-end strategy smoke timings on the tiny HDC model."""
     from repro.distributed import get_strategy, run_strategy
@@ -161,6 +216,7 @@ def run_bench(quick: bool = False) -> Dict[str, Any]:
     results: List[Dict[str, Any]] = []
     results.extend(_codec_entries(quick))
     results.extend(_exchange_entries(quick))
+    results.extend(_contention_entries(quick))
     results.extend(_strategy_entries(quick))
     return {
         "schema": BENCH_SCHEMA,

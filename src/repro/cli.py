@@ -146,6 +146,42 @@ def _add_trace_arguments(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_topology_argument(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--topology", default=None, metavar="SPEC",
+        help='fabric: "star" (default), "ring", "fat-tree:k=4", '
+        '"leaf-spine:spines=2,leaves=4,hosts=2" or "two-tier:racks=2,hosts=2"',
+    )
+
+
+def _add_tenant_arguments(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--tenants", default=None, metavar="SPEC",
+        help='background tenants sharing the fabric, e.g. "train:4,infer:8" '
+        "(kind:hosts, comma-separated)",
+    )
+    p.add_argument(
+        "--prioritize", action="store_true",
+        help="strict per-ToS priority queues protecting the exchange "
+        "from tenant traffic",
+    )
+    p.add_argument(
+        "--tenant-seed", type=int, default=0, metavar="S",
+        help="seed for background flow think-time randomness (default 0)",
+    )
+
+
+def _tenants_for(args: argparse.Namespace):
+    from repro.network import parse_tenants
+
+    if not getattr(args, "tenants", None):
+        return ()
+    try:
+        return parse_tenants(args.tenants)
+    except ValueError as exc:
+        raise SystemExit(f"--tenants: {exc}")
+
+
 def _add_loss_arguments(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--loss-rate", type=float, default=0.0, metavar="P",
@@ -211,6 +247,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
             profile=stream,
             loss_rate=args.loss_rate,
             retransmit=_retransmit_for(args),
+            topology=args.topology,
         ),
         stream=stream,
         tracer=tracer,
@@ -266,6 +303,7 @@ def _cmd_exchange(args: argparse.Namespace) -> int:
 
     stream = _stream_for(args)
     tracer = _tracer_for(args)
+    tenants = _tenants_for(args)
     simulate = (
         simulate_ring_exchange if args.algorithm == "ring" else simulate_wa_exchange
     )
@@ -280,15 +318,21 @@ def _cmd_exchange(args: argparse.Namespace) -> int:
             loss_rate=args.loss_rate,
             retransmit=_retransmit_for(args),
             fidelity=args.fidelity,
+            train_packets=args.train_packets,
+            topology=args.topology,
+            tenants=tenants,
+            prioritize=args.prioritize,
+            tenant_seed=args.tenant_seed,
         )
     except ValueError as exc:
-        raise SystemExit(f"--fidelity: {exc}")
+        raise SystemExit(str(exc))
     label = f"{args.algorithm}+{args.codec}" if stream else args.algorithm
     if args.fidelity != "packet":
         label = f"{label} [{args.fidelity}]"
+    fabric = f" on {args.topology}" if args.topology else ""
     print(
         f"{label} x{args.workers} @ {args.gbps:g} Gb/s, "
-        f"{args.mbytes:g} MB gradients:"
+        f"{args.mbytes:g} MB gradients{fabric}:"
     )
     if stream is not None:
         print(f"  measured ratio {measure_profile_ratio(stream):10.2f}x")
@@ -297,6 +341,12 @@ def _cmd_exchange(args: argparse.Namespace) -> int:
     print(f"  wire ratio     {result.wire_ratio:10.2f}x")
     if args.loss_rate > 0.0:
         print(f"  retransmitted  {result.trains_retransmitted:10d} trains")
+    if tenants:
+        mode = "priority" if args.prioritize else "FIFO"
+        print(
+            f"  background     {result.background_messages:10d} msgs "
+            f"({result.background_nbytes / 1e6:.1f} MB, {mode} queues)"
+        )
     _write_trace_outputs(
         tracer,
         args,
@@ -515,6 +565,7 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
             seed=args.seed,
             loss_rate=args.loss_rate,
             codec=args.codec,
+            topology=args.topology,
         )
         report = sanitize(scenario, perturb_seeds=tuple(args.perturb_seeds))
         if index:
@@ -602,6 +653,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="uniform(+/-F) perturbation of each worker's compute time",
     )
     p.add_argument("--seed", type=int, default=0)
+    _add_topology_argument(p)
     _add_loss_arguments(p)
     _add_trace_arguments(p)
     p.set_defaults(func=_cmd_train)
@@ -627,6 +679,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="packet: event-level simulation; flow: calibrated "
         "flow-level fast path for large worker counts",
     )
+    p.add_argument(
+        "--train-packets", type=int, default=4400, metavar="N",
+        help="packets per train (smaller trains = finer-grained "
+        "priority preemption on shared fabrics)",
+    )
+    _add_topology_argument(p)
+    _add_tenant_arguments(p)
     _add_loss_arguments(p)
     _add_trace_arguments(p)
     p.set_defaults(func=_cmd_exchange)
@@ -640,7 +699,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--out", default=None, metavar="FILE",
-        help="output artifact path (default: BENCH_8.json)",
+        help="output artifact path (default: BENCH_9.json)",
     )
     p.add_argument(
         "--validate", default=None, metavar="FILE",
@@ -706,6 +765,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--codec", default=None, metavar="NAME",
         help="registered codec for the gradient stream",
     )
+    _add_topology_argument(p)
     p.add_argument(
         "--perturb-seeds", type=int, nargs="+", default=[1, 2, 3],
         metavar="S", help="tie-break seeds to try (default: 1 2 3)",

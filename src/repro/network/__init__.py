@@ -1,4 +1,13 @@
-"""Network substrate: event kernel, packets, links, topologies, simulator."""
+"""Network substrate: event kernel, packets, links, topologies, simulator.
+
+Invariants the package as a whole guarantees: simulated time is the only
+time source; every random draw is seeded; flows keep FIFO delivery
+end-to-end (fixed per-flow routes, FIFO links, priority queues that are
+FIFO within a class, and the endpoint reorder buffer above); and
+same-instant resource contention resolves by deterministic arbitration
+keys, never by event-callback accidents — the properties ``repro lint``
+(R5/R8-R11) and ``repro sanitize`` enforce.
+"""
 
 from .events import (
     FIFO_TIE_BREAK,
@@ -8,6 +17,7 @@ from .events import (
     Simulation,
     Store,
     TieBreak,
+    flow_hash,
 )
 from .fabric import (
     TwoTierFabric,
@@ -16,6 +26,27 @@ from .fabric import (
 )
 from .loss import DeliveryFailure, LossModel, RetransmitPolicy
 from .link import Link
+from .multitier import (
+    FatTree,
+    LeafSpine,
+    MultiTierFabric,
+    build_topology,
+    parse_topology_spec,
+)
+from .priority import (
+    PRIORITY_CLASSES,
+    PRIORITY_DEFAULT,
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PriorityLink,
+)
+from .tenants import (
+    TOS_TENANT_INFER,
+    TOS_TENANT_TRAIN,
+    BackgroundTraffic,
+    TenantSpec,
+    parse_tenants,
+)
 from .packet import (
     DEFAULT_MSS,
     HEADER_BYTES,
@@ -50,6 +81,22 @@ __all__ = [
     "FIFO_TIE_BREAK",
     "SeededTieBreak",
     "TieBreak",
+    "flow_hash",
+    "FatTree",
+    "LeafSpine",
+    "MultiTierFabric",
+    "build_topology",
+    "parse_topology_spec",
+    "PRIORITY_CLASSES",
+    "PRIORITY_DEFAULT",
+    "PRIORITY_HIGH",
+    "PRIORITY_LOW",
+    "PriorityLink",
+    "TOS_TENANT_INFER",
+    "TOS_TENANT_TRAIN",
+    "BackgroundTraffic",
+    "TenantSpec",
+    "parse_tenants",
     "TwoTierFabric",
     "rack_aligned_ring_order",
     "rack_interleaved_ring_order",

@@ -15,6 +15,13 @@ default, matching the historical behaviour bit-for-bit); the
 determinism sanitizer re-runs scenarios under :class:`SeededTieBreak`
 to perturb exactly that ordering — any outcome that changes was racing
 on event order all along.
+
+Invariants: the clock only moves forward, and only between instants —
+callbacks scheduled at ``now`` (including :meth:`Simulation.at_instant_end`
+hooks) run before time advances, which is what same-instant resource
+arbitration builds on; simulated time is the sole time source (no
+wall-clock reads); all hashing is explicit splitmix64, independent of
+``PYTHONHASHSEED``; events fire exactly once.
 """
 
 from __future__ import annotations
@@ -33,6 +40,23 @@ def _splitmix64(value: int) -> int:
     value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
     value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
     return value ^ (value >> 31)
+
+
+def flow_hash(*fields: int) -> int:
+    """Deterministic 64-bit hash of integer flow fields.
+
+    Chains one splitmix64 round per field, so the result is a pure
+    function of the field values — independent of ``PYTHONHASHSEED``,
+    process, and platform.  ECMP route selection
+    (:mod:`repro.network.multitier`) hashes ``(src, dst, tos, hop)``
+    through this to pick among equal-cost next hops: the same flow
+    always takes the same path, which is exactly the property the
+    determinism sanitizer's replay check needs.
+    """
+    acc = len(fields) & _MASK64
+    for field in fields:
+        acc = _splitmix64(acc ^ (field & _MASK64))
+    return acc
 
 
 class TieBreak:

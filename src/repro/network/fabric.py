@@ -7,6 +7,13 @@ rack ToR switches; racks interconnect through a core switch whose
 uplinks carry ``oversubscription``-times less aggregate bandwidth than
 the edge.  Cross-rack traffic contends on the uplinks, so algorithm
 placement (rings within racks vs across them) becomes measurable.
+
+Invariants: single-path routing — every ``(src, dst)`` pair has exactly
+one route (intra-rack through the ToR, inter-rack through the core), so
+flows keep FIFO delivery on the links' FIFO service with no ECMP
+choices to hash; per-hop ``forwarding_delay_s`` models store-and-forward
+switches; all timing is simulated time.  For ECMP-routed Clos fabrics
+see :mod:`repro.network.multitier`.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from typing import Dict, List
 
 from .events import Simulation
 from .link import Link
+from .packet import TOS_DEFAULT
 from .topology import (
     DEFAULT_BANDWIDTH_BPS,
     DEFAULT_LINK_LATENCY_S,
@@ -76,7 +84,7 @@ class TwoTierFabric(Topology):
     def rack_of(self, node: int) -> int:
         return node // self.nodes_per_rack
 
-    def route(self, src: int, dst: int) -> Route:
+    def route(self, src: int, dst: int, tos: int = TOS_DEFAULT) -> Route:
         self._check_endpoints(src, dst)
         src_rack, dst_rack = self.rack_of(src), self.rack_of(dst)
         if src_rack == dst_rack:

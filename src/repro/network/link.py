@@ -17,6 +17,14 @@ requests are collected until the instant drains (see
 hardware arbiter resolves simultaneous port requests by fixed priority.
 This makes contention outcomes a pure function of the workload, invariant
 under equal-timestamp event reordering.
+
+Invariants: strict FIFO service order (arrival order between instants,
+key order within an instant) — the ``priority`` argument is accepted for
+interface compatibility and *ignored*, keeping single-tier fabrics
+bit-exact (:class:`~repro.network.priority.PriorityLink` honors it);
+cut-through hand-off exposes head arrival without ever letting a train
+overtake itself; all timing derives from simulated time
+(``Simulation.now``), never the host clock.
 """
 
 from __future__ import annotations
@@ -171,7 +179,10 @@ class Link:
             )
 
     def transmit(
-        self, nbytes: int, key: Optional[Tuple] = None
+        self,
+        nbytes: int,
+        key: Optional[Tuple] = None,
+        priority: Optional[int] = None,
     ) -> Tuple[Event, Event]:
         """Queue a frame for transmission.
 
@@ -180,8 +191,11 @@ class Link:
         propagation delay later at the receiver.  Calls made while the
         link is busy are served FIFO.  With a ``key``, same-instant
         requests are granted in key order instead of call order (see the
-        module docstring).
+        module docstring).  ``priority`` is ignored here — a plain link
+        is a cable, not a scheduler; only
+        :class:`~repro.network.priority.PriorityLink` honors it.
         """
+        del priority  # FIFO links serve in arrival order regardless of class
         if nbytes < 0:
             raise ValueError("cannot transmit a negative number of bytes")
         if key is not None:
@@ -193,7 +207,11 @@ class Link:
         return sent, delivered
 
     def transmit_cut_through(
-        self, nbytes: int, head_nbytes: int, key: Optional[Tuple] = None
+        self,
+        nbytes: int,
+        head_nbytes: int,
+        key: Optional[Tuple] = None,
+        priority: Optional[int] = None,
     ) -> Tuple[Event, Event]:
         """Queue a packet train, exposing when its *head* packet lands.
 
@@ -204,8 +222,9 @@ class Link:
         rates (our topologies) forwarding on head arrival never outruns
         the incoming stream.  With a ``key``, same-instant requests are
         granted in key order instead of call order (see the module
-        docstring).
+        docstring).  ``priority`` is ignored here (see :meth:`transmit`).
         """
+        del priority  # FIFO links serve in arrival order regardless of class
         if nbytes < 0:
             raise ValueError("cannot transmit a negative number of bytes")
         head_nbytes = min(max(head_nbytes, 0), nbytes)

@@ -6,6 +6,14 @@ reflect).  For robustness studies we add Bernoulli per-train loss on
 links plus a go-back-style retransmission layer with an RTO, so the
 benches can ask how much loss the two algorithms tolerate before their
 ordering changes.
+
+Invariants: drop decisions come from a per-link seeded
+``np.random.default_rng`` stream in link-local request order, so a
+replay drops exactly the same trains; loss never reorders a flow (the
+sender detects the drop one RTO after the expected delivery and resends
+through the same FIFO route, and the endpoint reorder buffer restores
+send order); retransmission accounting is observable (``trains_dropped``,
+``packets_dropped``) rather than silent.
 """
 
 from __future__ import annotations

@@ -10,6 +10,14 @@ single reserved value into a small ToS code space: every registered
 codec claims one ToS byte via :func:`register_compressible_tos`, and the
 NIC/simulator treat any claimed code as "run this stream through the
 engines".  ``0x28`` stays reserved for the INCEPTIONN codec.
+
+Invariants: ToS claims are idempotent and ``TOS_DEFAULT`` (0x00) can
+never mark a compressible stream; segmentation is deterministic — the
+same payload always yields the same packet count and sizes
+(``HEADER_BYTES`` per packet, MSS-bounded payloads), with no clocks or
+randomness involved; tenant traffic classes
+(:mod:`repro.network.tenants`) use ToS bytes no codec claims, so
+background flows never enter the NIC engines.
 """
 
 from __future__ import annotations

@@ -1,0 +1,178 @@
+"""Strict-priority output-queued switch port for multi-tier fabrics.
+
+Invariants this module maintains:
+
+* **Non-preemptive strict priority.**  A :class:`PriorityLink` serves one
+  train at a time; whenever the port frees, the waiting train with the
+  numerically *lowest* priority class goes next.  A train already on the
+  wire is never preempted, so a low-priority train delays higher classes
+  by at most its own serialization time (the classic bounded
+  head-of-line term of strict-priority schedulers).
+* **FIFO within a class.**  Trains of equal priority are served in
+  arrival order; the fabric never reorders a flow against itself.
+* **Deterministic same-instant arbitration.**  Requests issued at the
+  same simulated instant are collected until the instant drains (see
+  :meth:`repro.network.events.Simulation.at_instant_end`) and admitted
+  in ``(priority, key)`` order, so queue contents are a pure function of
+  the workload — never of equal-timestamp callback order, which the
+  determinism sanitizer deliberately perturbs.
+* **Simulated-time discipline.**  All timing derives from
+  ``Simulation.now`` and link parameters; no wall-clock reads, no
+  unseeded randomness.
+
+The plain :class:`~repro.network.link.Link` ignores priority entirely
+(single-tier fabrics stay bit-exact); only multi-tier switch egress
+ports honor it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Optional, Tuple
+
+from .events import Event, Simulation
+from .link import Link
+
+#: Number of priority classes (IEEE 802.1p-style 3-bit code space).
+PRIORITY_CLASSES = 8
+#: Served first — latency-critical foreground traffic.
+PRIORITY_HIGH = 0
+#: The class unmapped ToS bytes fall into.
+PRIORITY_DEFAULT = 4
+#: Served last — scavenger-class background traffic.
+PRIORITY_LOW = 7
+
+#: One admitted queue entry:
+#: ``(priority, admission seq, nbytes, head_nbytes, first, second)``.
+_QueueEntry = Tuple[int, int, int, Optional[int], Event, Event]
+#: One not-yet-admitted request:
+#: ``(priority, arbitration key, nbytes, head_nbytes, first, second)``.
+_Request = Tuple[int, Tuple[int, ...], int, Optional[int], Event, Event]
+
+
+class PriorityLink(Link):
+    """A switch egress port with per-class output queues.
+
+    Drop-in :class:`~repro.network.link.Link` replacement used by
+    :mod:`repro.network.multitier`: ``transmit``/``transmit_cut_through``
+    keep their contract (``(sent|head_arrived, delivered)`` event pairs)
+    but honor the ``priority`` argument — lower values are served first,
+    ``None`` maps to :data:`PRIORITY_DEFAULT`.  With every request in
+    the same class the port degenerates to the plain link's FIFO
+    discipline.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        bandwidth_bps: float,
+        latency_s: float,
+        name: str = "",
+    ) -> None:
+        super().__init__(sim, bandwidth_bps, latency_s, name=name)
+        #: Admitted trains waiting for the port, ordered by
+        #: ``(priority, admission seq)``.
+        self._queue: List[_QueueEntry] = []
+        #: Same-instant requests awaiting deterministic admission.
+        self._requests: List[_Request] = []
+        self._admission = itertools.count()
+        self._sync_armed = False
+        self._serving = False
+        #: Peak queue length observed (for reports and tests).
+        self.max_queue_depth = 0
+
+    # -- public API (Link contract) ----------------------------------------
+
+    def transmit(
+        self,
+        nbytes: int,
+        key: Optional[Tuple] = None,
+        priority: Optional[int] = None,
+    ) -> Tuple[Event, Event]:
+        """Queue a frame; returns ``(sent, delivered)`` (see ``Link``)."""
+        if nbytes < 0:
+            raise ValueError("cannot transmit a negative number of bytes")
+        return self._enqueue(nbytes, None, key, priority)
+
+    def transmit_cut_through(
+        self,
+        nbytes: int,
+        head_nbytes: int,
+        key: Optional[Tuple] = None,
+        priority: Optional[int] = None,
+    ) -> Tuple[Event, Event]:
+        """Queue a train; returns ``(head_arrived, delivered)`` (see ``Link``)."""
+        if nbytes < 0:
+            raise ValueError("cannot transmit a negative number of bytes")
+        head_nbytes = min(max(head_nbytes, 0), nbytes)
+        return self._enqueue(nbytes, head_nbytes, key, priority)
+
+    # -- internals ----------------------------------------------------------
+
+    def _enqueue(
+        self,
+        nbytes: int,
+        head_nbytes: Optional[int],
+        key: Optional[Tuple],
+        priority: Optional[int],
+    ) -> Tuple[Event, Event]:
+        """Stage a request for admission at the end of this instant."""
+        cls = PRIORITY_DEFAULT if priority is None else priority
+        if not 0 <= cls < PRIORITY_CLASSES:
+            raise ValueError(
+                f"priority must be in [0, {PRIORITY_CLASSES}), got {cls}"
+            )
+        first = Event(self.sim)
+        second = Event(self.sim)
+        arb_key = tuple(key) if key is not None else ()
+        self._requests.append((cls, arb_key, nbytes, head_nbytes, first, second))
+        self._arm_sync()
+        return first, second
+
+    def _arm_sync(self) -> None:
+        """Schedule one admission pass when the current instant drains."""
+        if not self._sync_armed:
+            self._sync_armed = True
+            self.sim.at_instant_end(self._instant_sync)
+
+    def _instant_sync(self) -> None:
+        """Admit this instant's requests in (priority, key) order, then serve."""
+        self._sync_armed = False
+        requests, self._requests = self._requests, []
+        requests.sort(key=lambda request: (request[0], request[1]))
+        for cls, _, nbytes, head_nbytes, first, second in requests:
+            heapq.heappush(
+                self._queue,
+                (cls, next(self._admission), nbytes, head_nbytes, first, second),
+            )
+        if len(self._queue) > self.max_queue_depth:
+            self.max_queue_depth = len(self._queue)
+        self._maybe_start()
+
+    def _maybe_start(self) -> None:
+        """Put the best waiting train on the wire if the port is idle."""
+        if self._serving or not self._queue:
+            return
+        self._serving = True
+        _, _, nbytes, head_nbytes, first, second = heapq.heappop(self._queue)
+        now = self.sim.now
+        serialization = self.serialization_time(nbytes)
+        finish = now + serialization
+        self._free_at = finish
+        self.bytes_carried += nbytes
+        self.busy_time += serialization
+        if self.tracer is not None:
+            self._trace_transfer(now, now, finish, nbytes)
+        if head_nbytes is None:  # plain transmit: (sent, delivered)
+            first_at = finish
+        else:  # cut-through: (head_arrived, delivered)
+            first_at = now + self.serialization_time(head_nbytes) + self.latency_s
+        self.sim.call_at(first_at, lambda ev=first: ev.succeed())
+        self.sim.call_at(finish + self.latency_s, lambda ev=second: ev.succeed())
+        self.sim.call_at(finish, self._finish_service)
+
+    def _finish_service(self) -> None:
+        """Free the port; same-instant arrivals compete for the next slot."""
+        self._serving = False
+        self._arm_sync()

@@ -17,6 +17,16 @@ hardware integration of Sec. VI-A:
   throughput at its burst rate (256 bits/cycle at 100 MHz = 3.2 GB/s,
   faster than 10 GbE, hence invisible by default but exposed for
   ablation).
+
+Invariants: per-flow FIFO delivery — trains of one message traverse one
+fixed route (``topology.route(src, dst, tos)``) in order, and the
+receiver-side reorder buffer in :mod:`repro.transport.endpoint` restores
+send order across messages; cut-through hand-off between stages starts
+the next hop on head arrival, never before; same-instant contention on
+any stage resolves by arbitration key, not callback order; with a
+``tos_priority`` map, a train's priority class is a pure function of its
+ToS byte (unmapped bytes get ``PRIORITY_DEFAULT``); all timing is
+simulated time and the only randomness is the seeded loss model.
 """
 
 from __future__ import annotations
@@ -40,6 +50,7 @@ from .events import Event, Simulation
 from .link import Link
 from .loss import DeliveryFailure, LossModel, RetransmitPolicy
 from .packet import HEADER_BYTES, TOS_DEFAULT, is_compressible_tos, packet_count
+from .priority import PRIORITY_DEFAULT
 from .topology import Route, Topology
 
 if TYPE_CHECKING:
@@ -111,6 +122,7 @@ class Network:
         loss: Optional[LossModel] = None,
         retransmit: Optional[RetransmitPolicy] = None,
         tracer: Optional[Tracer] = None,
+        tos_priority: Optional[Dict[int, int]] = None,
     ) -> None:
         if mss <= 0 or train_packets <= 0:
             raise ValueError("mss and train_packets must be positive")
@@ -119,6 +131,10 @@ class Network:
         self.topology = topology
         self.mss = mss
         self.train_packets = train_packets
+        #: ToS byte -> priority class honored by priority-queued fabrics
+        #: (``None`` disables classification: every train rides the
+        #: default class, and plain FIFO links ignore priority anyway).
+        self.tos_priority = dict(tos_priority) if tos_priority is not None else None
         self.retransmit = retransmit or RetransmitPolicy()
         if loss is not None:
             links = getattr(topology, "all_links", lambda: [])()
@@ -250,7 +266,10 @@ class Network:
         on_retransmit: Optional[RetransmitHook],
     ) -> Event:
         """Common send path: trace, segment into trains, spawn processes."""
-        route = self.topology.route(src, dst)
+        route = self.topology.route(src, dst, tos=tos)
+        priority: Optional[int] = None
+        if self.tos_priority is not None:
+            priority = self.tos_priority.get(tos, PRIORITY_DEFAULT)
         num_packets = packet_count(nbytes, self.mss)
         wire_total = num_packets * HEADER_BYTES + wire_payload
 
@@ -306,6 +325,7 @@ class Network:
                     dst,
                     on_retransmit,
                     arb_key=(src, dst, pair_seq, index),
+                    priority=priority,
                 )
             )
             for index, (pkts, wire, raw) in enumerate(trains)
@@ -377,6 +397,7 @@ class Network:
         dst: int,
         on_retransmit: Optional[RetransmitHook] = None,
         arb_key: Optional[Tuple[int, int, int, int]] = None,
+        priority: Optional[int] = None,
     ) -> Generator[Event, Any, None]:
         """Pipeline one packet train through engines and links.
 
@@ -391,6 +412,9 @@ class Network:
         one FIFO resource at the same simulated time, grants go in key
         order, not in event-callback order, so contention outcomes
         cannot race on equal-timestamp event scheduling.
+
+        ``priority`` is the train's class at priority-queued switch
+        egress ports (multi-tier fabrics); plain FIFO links ignore it.
         """
         head_wire = min(wire_bytes, HEADER_BYTES + self.mss)
         head_raw = min(raw_bytes, HEADER_BYTES + self.mss)
@@ -413,7 +437,7 @@ class Network:
             for index, (resource, nbytes, head, post_delay) in enumerate(stages):
                 drop_here = resource.should_drop(packets)
                 head_arrived, delivered = resource.transmit_cut_through(
-                    nbytes, head, key=arb_key
+                    nbytes, head, key=arb_key, priority=priority
                 )
                 if drop_here:
                     # The wire time is spent; the loss is discovered at

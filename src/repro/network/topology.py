@@ -5,6 +5,15 @@ switch (NETGEAR XS712T).  Both the worker-aggregator tree and the
 INCEPTIONN ring run *over the same star*: what differs is the traffic
 pattern, not the cabling.  A direct ring wiring is also provided for
 ablations.
+
+Invariants: a :class:`Route` is resolved per flow ``(src, dst, tos)``
+and is deterministic — repeated calls return the same links, so a flow
+never reorders against itself (FIFO delivery rests on this plus the
+links' FIFO service); routes are loop-free link sequences with one
+``forwarding_delay_s`` applied between consecutive links
+(store-and-forward switch latency); construction and routing read only
+constructor arguments, never the host clock or unseeded randomness.
+Multi-tier graphs with ECMP live in :mod:`repro.network.multitier`.
 """
 
 from __future__ import annotations
@@ -14,6 +23,7 @@ from typing import Dict, List, Tuple
 
 from .events import Simulation
 from .link import Link
+from .packet import TOS_DEFAULT
 
 #: Testbed defaults: 10 GbE links, a few microseconds of port-to-port
 #: latency, store-and-forward forwarding in the switch.
@@ -39,7 +49,14 @@ class Topology:
         self.sim = sim
         self.num_nodes = num_nodes
 
-    def route(self, src: int, dst: int) -> Route:
+    def route(self, src: int, dst: int, tos: int = TOS_DEFAULT) -> Route:
+        """Resolve the links a ``src -> dst`` flow traverses.
+
+        ``tos`` identifies the flow's traffic class; single-path
+        topologies ignore it, ECMP fabrics hash it into next-hop
+        selection so distinct streams between the same hosts can spread
+        over equal-cost paths.
+        """
         raise NotImplementedError
 
     def _check_endpoints(self, src: int, dst: int) -> None:
@@ -79,7 +96,7 @@ class SwitchedStar(Topology):
                 sim, bandwidth_bps, link_latency_s, name=f"sw->n{node}"
             )
 
-    def route(self, src: int, dst: int) -> Route:
+    def route(self, src: int, dst: int, tos: int = TOS_DEFAULT) -> Route:
         self._check_endpoints(src, dst)
         return Route(
             links=(self.uplinks[src], self.downlinks[dst]),
@@ -116,7 +133,7 @@ class DirectRing(Topology):
             for node in range(num_nodes)
         }
 
-    def route(self, src: int, dst: int) -> Route:
+    def route(self, src: int, dst: int, tos: int = TOS_DEFAULT) -> Route:
         self._check_endpoints(src, dst)
         if dst != (src + 1) % self.num_nodes:
             raise ValueError(

@@ -14,7 +14,7 @@ functional domains cannot drift apart.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -32,7 +32,7 @@ from repro.distributed.node import (
 )
 from repro.distributed.ring import ring_exchange_sizes
 from repro.dnn.models import ModelSpec
-from repro.network import RetransmitPolicy
+from repro.network import Event, RetransmitPolicy, TenantSpec
 from repro.obs import CAT_PHASE, Tracer
 from repro.transport.endpoint import ClusterComm, ClusterConfig
 from repro.transport.wire import measure_stream_ratio
@@ -82,6 +82,10 @@ class ExchangeResult:
     wire_payload_nbytes: int = 0
     #: Trains resent due to simulated loss (0 on a lossless fabric).
     trains_retransmitted: int = 0
+    #: Background-tenant messages and payload bytes that shared the
+    #: fabric during the exchange (0 = dedicated network).
+    background_messages: int = 0
+    background_nbytes: int = 0
 
     @property
     def per_iteration_s(self) -> float:
@@ -104,12 +108,23 @@ def _check_flow_supported(
     tracer: Optional[Tracer],
     loss_rate: float,
     retransmit: Optional[RetransmitPolicy],
+    topology: Optional[str] = None,
+    tenants: Sequence[TenantSpec] = (),
+    prioritize: bool = False,
 ) -> None:
-    """Flow fidelity models lossless untraced fabrics only."""
-    if tracer is not None or loss_rate != 0.0 or retransmit is not None:
+    """Flow fidelity models dedicated, lossless, untraced stars only."""
+    if (
+        tracer is not None
+        or loss_rate != 0.0
+        or retransmit is not None
+        or (topology is not None and topology != "star")
+        or tenants
+        or prioritize
+    ):
         raise ValueError(
-            "fidelity='flow' does not model tracing, loss or "
-            "retransmission; use fidelity='packet' for those studies"
+            "fidelity='flow' does not model tracing, loss, retransmission, "
+            "multi-tier topologies or background tenants; use "
+            "fidelity='packet' for those studies"
         )
 
 
@@ -123,6 +138,10 @@ def _make_comm(
     loss_rate: float = 0.0,
     loss_seed: int = 0,
     retransmit: Optional[RetransmitPolicy] = None,
+    topology: Optional[str] = None,
+    tenants: Sequence[TenantSpec] = (),
+    prioritize: bool = False,
+    tenant_seed: int = 0,
 ) -> ClusterComm:
     return ClusterComm(
         ClusterConfig(
@@ -134,9 +153,36 @@ def _make_comm(
             loss_rate=loss_rate,
             loss_seed=loss_seed,
             retransmit=retransmit,
+            topology=topology,
+            tenants=tuple(tenants),
+            prioritize=prioritize,
+            tenant_seed=tenant_seed,
         ),
         tracer=tracer,
     )
+
+
+def _run_with_background(comm: ClusterComm, procs: List[Event]) -> float:
+    """Run the cluster to completion, timing the foreground processes.
+
+    On a dedicated network the makespan *is* the exchange time.  With
+    background tenants the fabric never goes idle, so the measured
+    quantity is when the last foreground process finishes; tenant flows
+    are stopped at that point and the queue drains (their in-flight
+    trains complete but no longer matter for timing).
+    """
+    background = comm.start_background()
+    if background is None:
+        return comm.run()
+    finish: Dict[str, float] = {}
+
+    def _foreground_done(_: Event) -> None:
+        finish["t"] = comm.sim.now
+        background.stop()
+
+    comm.sim.all_of(procs).add_callback(_foreground_done)
+    comm.run()
+    return finish["t"]
 
 
 def simulate_wa_exchange(
@@ -156,6 +202,10 @@ def simulate_wa_exchange(
     loss_seed: int = 0,
     retransmit: Optional[RetransmitPolicy] = None,
     fidelity: str = "packet",
+    topology: Optional[str] = None,
+    tenants: Sequence[TenantSpec] = (),
+    prioritize: bool = False,
+    tenant_seed: int = 0,
 ) -> ExchangeResult:
     """Worker-aggregator iterations: gather g up, sum, update, scatter w.
 
@@ -171,6 +221,12 @@ def simulate_wa_exchange(
     (Fig 15) leave it off.  ``fidelity="flow"`` switches to the
     vectorized flow-level model (:mod:`repro.perfmodel.flowsim`) for
     large sweeps; it rejects tracing/loss/retransmission.
+
+    ``topology`` selects the fabric (default: the historical switched
+    star); ``tenants`` adds background traffic competing for it, and
+    ``prioritize`` enables strict per-ToS priority queueing protecting
+    the exchange.  With tenants present the reported ``total_s`` is the
+    foreground completion time (the fabric itself never idles).
     """
     if num_workers < 2:
         raise ValueError("need at least two workers")
@@ -180,7 +236,9 @@ def simulate_wa_exchange(
     if stream is not None and gradient_ratio is None:
         gradient_ratio = measure_profile_ratio(stream)
     if fidelity == "flow":
-        _check_flow_supported(tracer, loss_rate, retransmit)
+        _check_flow_supported(
+            tracer, loss_rate, retransmit, topology, tenants, prioritize
+        )
         from .flowsim import simulate_wa_exchange_flow
 
         return simulate_wa_exchange_flow(
@@ -209,6 +267,10 @@ def simulate_wa_exchange(
         loss_rate=loss_rate,
         loss_seed=loss_seed,
         retransmit=retransmit,
+        topology=topology,
+        tenants=tenants,
+        prioritize=prioritize,
+        tenant_seed=tenant_seed,
     )
     sums = {"sum_s": 0.0, "update_s": 0.0}
 
@@ -267,10 +329,10 @@ def simulate_wa_exchange(
             ]
             yield comm.sim.all_of(events)
 
-    for i in range(num_workers):
-        comm.sim.process(worker(i))
-    comm.sim.process(agg())
-    total = comm.run()
+    procs: List[Event] = [comm.sim.process(worker(i)) for i in range(num_workers)]
+    procs.append(comm.sim.process(agg()))
+    total = _run_with_background(comm, procs)
+    background = comm.start_background()
     summary = comm.transfer_summary()
     return ExchangeResult(
         algorithm="wa",
@@ -283,6 +345,8 @@ def simulate_wa_exchange(
         sent_nbytes=summary.nbytes,
         wire_payload_nbytes=summary.wire_payload_nbytes,
         trains_retransmitted=comm.network.trains_retransmitted,
+        background_messages=background.total_messages if background else 0,
+        background_nbytes=background.total_bytes if background else 0,
     )
 
 
@@ -303,6 +367,10 @@ def simulate_ring_exchange(
     loss_seed: int = 0,
     retransmit: Optional[RetransmitPolicy] = None,
     fidelity: str = "packet",
+    topology: Optional[str] = None,
+    tenants: Sequence[TenantSpec] = (),
+    prioritize: bool = False,
+    tenant_seed: int = 0,
 ) -> ExchangeResult:
     """Ring iterations at paper scale (every hop on the gradient stream).
 
@@ -313,6 +381,11 @@ def simulate_ring_exchange(
     (:mod:`repro.perfmodel.flowsim`), which on the ring's
     contention-free star fabric reproduces packet timing to
     floating-point noise while reaching 1024-4096 workers in seconds.
+
+    ``topology``, ``tenants``, ``prioritize`` and ``tenant_seed`` model
+    a shared multi-tier fabric exactly as in
+    :func:`simulate_wa_exchange`; with tenants present ``total_s`` is
+    the foreground completion time.
     """
     if num_workers < 2:
         raise ValueError("need at least two workers")
@@ -321,7 +394,9 @@ def simulate_ring_exchange(
     if stream is not None and gradient_ratio is None:
         gradient_ratio = measure_profile_ratio(stream)
     if fidelity == "flow":
-        _check_flow_supported(tracer, loss_rate, retransmit)
+        _check_flow_supported(
+            tracer, loss_rate, retransmit, topology, tenants, prioritize
+        )
         from .flowsim import simulate_ring_exchange_flow
 
         return simulate_ring_exchange_flow(
@@ -350,6 +425,10 @@ def simulate_ring_exchange(
         loss_rate=loss_rate,
         loss_seed=loss_seed,
         retransmit=retransmit,
+        topology=topology,
+        tenants=tenants,
+        prioritize=prioritize,
+        tenant_seed=tenant_seed,
     )
     block_bytes = [s * 4 for s in ring_exchange_sizes(num_workers, nbytes // 4)]
     sums = {"sum_s": 0.0, "update_s": 0.0}
@@ -405,9 +484,9 @@ def simulate_ring_exchange(
                         node=i,
                     )
 
-    for i in range(num_workers):
-        comm.sim.process(worker(i))
-    total = comm.run()
+    procs: List[Event] = [comm.sim.process(worker(i)) for i in range(num_workers)]
+    total = _run_with_background(comm, procs)
+    background = comm.start_background()
     summary = comm.transfer_summary()
     return ExchangeResult(
         algorithm="ring",
@@ -420,4 +499,6 @@ def simulate_ring_exchange(
         sent_nbytes=summary.nbytes,
         wire_payload_nbytes=summary.wire_payload_nbytes,
         trains_retransmitted=comm.network.trains_retransmitted,
+        background_messages=background.total_messages if background else 0,
+        background_nbytes=background.total_bytes if background else 0,
     )

@@ -115,6 +115,7 @@ class StrategyScenario(Scenario):
         train_size: int = 120,
         test_size: int = 40,
         batch_size: int = 10,
+        topology: Optional[str] = None,
         options: Optional[Mapping[str, Any]] = None,
     ) -> None:
         self.strategy = strategy
@@ -126,8 +127,11 @@ class StrategyScenario(Scenario):
         self.train_size = train_size
         self.test_size = test_size
         self.batch_size = batch_size
+        self.topology = topology
         self.options = dict(options or {})
         tag = f"{strategy}+loss" if loss_rate else strategy
+        if topology is not None:
+            tag = f"{tag}@{topology}"
         self.name = f"{tag} x{workers}"
 
     def execute(
@@ -162,6 +166,7 @@ class StrategyScenario(Scenario):
                 loss_rate=self.loss_rate,
                 retransmit=RetransmitPolicy() if self.loss_rate else None,
                 tie_break=tie_break,
+                topology=self.topology,
             ),
             stream=stream,
             tracer=tracer,

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, List, Optional, Sequence
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,17 +27,22 @@ from repro.core.bounds import DEFAULT_BOUND
 from repro.hardware.nic import InceptionnNic
 from repro.hardware.timing import engine_latency_s, engine_throughput_bps
 from repro.network import (
+    BackgroundTraffic,
     Event,
     LossModel,
     Network,
     NicTimingModel,
+    PRIORITY_HIGH,
     RetransmitPolicy,
     Simulation,
     Store,
     SwitchedStar,
+    TenantSpec,
     TieBreak,
+    build_topology,
 )
-from repro.network.topology import DEFAULT_BANDWIDTH_BPS
+from repro.network.packet import TOS_DEFAULT
+from repro.network.topology import DEFAULT_BANDWIDTH_BPS, Topology
 from repro.obs import CAT_CODEC, Tracer
 
 from .wire import WireMessage, account_tx_traversal, build_wire_message
@@ -129,6 +134,20 @@ class ClusterConfig:
     #: The determinism sanitizer re-runs scenarios under a
     #: :class:`~repro.network.SeededTieBreak` to surface order races.
     tie_break: Optional[TieBreak] = None
+    #: Fabric spec for :func:`repro.network.build_topology`
+    #: (e.g. ``"fat-tree:k=4"``); ``None`` keeps the paper's switched
+    #: star on exactly the historical construction path (bit-exact).
+    topology: Optional[str] = None
+    #: Background tenants placed on the fabric's spare host ports
+    #: (empty = the training job has the network to itself).
+    tenants: Tuple[TenantSpec, ...] = ()
+    #: Honor per-ToS priority classes at multi-tier switch queues:
+    #: foreground gradient/weight streams ride PRIORITY_HIGH, each
+    #: tenant its spec's class.  Plain FIFO links ignore priority, so
+    #: this only matters on priority-queued fabrics.
+    prioritize: bool = False
+    #: Seed for background-tenant arrival randomness.
+    tenant_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.compression:
@@ -158,13 +177,26 @@ class ClusterComm:
         self.tracer = tracer
         self.default_profile = config.default_profile()
         self.sim = Simulation(tie_break=config.tie_break)
-        self.topology = SwitchedStar(
-            self.sim,
-            config.num_nodes,
-            bandwidth_bps=config.bandwidth_bps,
-            link_latency_s=config.link_latency_s,
-            switch_delay_s=config.switch_delay_s,
-        )
+        self.topology: Topology
+        if config.topology is None:
+            # The historical construction path, kept verbatim so the
+            # default star fabric stays bit-exact.
+            self.topology = SwitchedStar(
+                self.sim,
+                config.num_nodes,
+                bandwidth_bps=config.bandwidth_bps,
+                link_latency_s=config.link_latency_s,
+                switch_delay_s=config.switch_delay_s,
+            )
+        else:
+            self.topology = build_topology(
+                config.topology,
+                self.sim,
+                config.num_nodes,
+                bandwidth_bps=config.bandwidth_bps,
+                link_latency_s=config.link_latency_s,
+                switch_delay_s=config.switch_delay_s,
+            )
         nic = NicTimingModel(
             compression=config.compression or config.profile is not None,
             engine_latency_s=engine_latency_s(config.engine_clock_hz),
@@ -186,7 +218,9 @@ class ClusterComm:
             loss=loss,
             retransmit=config.retransmit,
             tracer=tracer,
+            tos_priority=self._tos_priority(),
         )
+        self._background: Optional[BackgroundTraffic] = None
         #: Functional NICs, one per node — the engine dispatch every
         #: WireMessage is built through (paper Fig 8's comparator).
         self.nics: List[InceptionnNic] = [
@@ -203,6 +237,49 @@ class ClusterComm:
             Endpoint(self, node) for node in range(config.num_nodes)
         ]
         self.transfers: List[TransferLog] = []
+
+    def _tos_priority(self) -> Optional[Dict[int, int]]:
+        """The ToS -> priority-class map, or ``None`` when not prioritizing.
+
+        Foreground streams (the default profile's ToS and raw weight
+        traffic) ride :data:`~repro.network.PRIORITY_HIGH`; each tenant
+        rides its spec's class.  A tenant ToS that collides with a
+        foreground stream would silently demote the training job, so it
+        is rejected.
+        """
+        if not self.config.prioritize:
+            return None
+        foreground = {TOS_DEFAULT, self.default_profile.resolved_tos}
+        mapping = {tos: PRIORITY_HIGH for tos in sorted(foreground)}
+        for tenant in self.config.tenants:
+            if tenant.tos in foreground:
+                raise ValueError(
+                    f"tenant ToS {tenant.tos:#04x} collides with a "
+                    "foreground stream; pick a distinct byte"
+                )
+            mapping[tenant.tos] = tenant.priority
+        return mapping
+
+    def start_background(self) -> Optional[BackgroundTraffic]:
+        """Launch the configured background tenants (idempotent).
+
+        Tenants occupy fabric host ports from ``num_nodes`` upward —
+        callers must have picked a ``topology`` with spare capacity.
+        Returns the :class:`~repro.network.BackgroundTraffic` handle
+        (call ``stop()`` when the foreground workload completes), or
+        ``None`` when no tenants are configured.
+        """
+        if not self.config.tenants:
+            return None
+        if self._background is None:
+            self._background = BackgroundTraffic(
+                self.network,
+                self.config.tenants,
+                first_host=self.config.num_nodes,
+                seed=self.config.tenant_seed,
+            )
+            self._background.launch()
+        return self._background
 
     @property
     def num_nodes(self) -> int:

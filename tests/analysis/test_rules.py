@@ -438,6 +438,54 @@ class TestAnnotations:
         assert "*parts" in findings[0].message
         assert "**options" in findings[0].message
 
+    def test_network_module_requires_docstring(self, lint_snippet):
+        findings = lint_snippet(
+            "network/x.py",
+            """
+            X = 1
+            """,
+            rules=[AnnotationsRule()],
+        )
+        assert codes(findings) == ["R5"]
+        assert "docstring" in findings[0].message
+
+    def test_network_module_docstring_satisfies(self, lint_snippet):
+        findings = lint_snippet(
+            "network/x.py",
+            '''
+            """States this module's invariants."""
+
+            X = 1
+            ''',
+            rules=[AnnotationsRule()],
+        )
+        assert findings == []
+
+    def test_docstring_not_required_outside_network(self, lint_snippet):
+        findings = lint_snippet(
+            "dnn/x.py",
+            """
+            X = 1
+            """,
+            rules=[AnnotationsRule()],
+        )
+        assert findings == []
+
+    def test_docstring_check_survives_package_scoping(self, lint_snippet):
+        # Annotation scoping narrowed away from network: the module
+        # docstring requirement still applies there, the annotation
+        # check does not.
+        findings = lint_snippet(
+            "network/x.py",
+            """
+            def scale(x):
+                return x
+            """,
+            rules=[AnnotationsRule(packages=("core",))],
+        )
+        assert codes(findings) == ["R5"]
+        assert "docstring" in findings[0].message
+
 
 class TestRetiredApi:
     def test_flags_isend_sized_call(self, lint_snippet):
