@@ -30,6 +30,16 @@ EXCHANGE_FUNCTIONS = (
     "aggregator_exchange",
 )
 
+#: The compressed-domain aggregation entry points owned by the
+#: aggregation-site layer.  Rule R12 confines inline
+#: decompress→sum→recompress sequences to the modules that define these
+#: (plus codec implementations, which own their own algebra).
+AGGREGATION_FUNCTIONS = (
+    "aggregate_compressed",
+    "aggregate_endpoint",
+    "combine_parts",
+)
+
 
 @dataclass(frozen=True)
 class CodecRegistration:
@@ -58,6 +68,13 @@ class ProjectFacts:
     #: Exchange-primitive name -> modules defining a function of that
     #: name (the primitive layer itself, exempt from R7).
     exchange_definers: Dict[str, Set[str]] = field(default_factory=dict)
+    #: Modules defining a compressed-domain aggregation entry point
+    #: (the aggregation-site layer itself, exempt from R12).
+    aggregation_definers: Set[str] = field(default_factory=set)
+    #: Modules defining both ``compress`` and ``decompress`` (codec
+    #: implementations, exempt from R12 — error feedback legitimately
+    #: reconstructs and re-encodes inside the codec).
+    codec_definers: Set[str] = field(default_factory=set)
     #: module -> module-level names bound to set values (rule R10).
     set_globals: Dict[str, Set[str]] = field(default_factory=dict)
     #: Attribute names annotated ``Set[...]``/``FrozenSet[...]`` anywhere
@@ -280,6 +297,7 @@ def collect_project_facts(
         "TOS_COMPRESS": facts.tos_compress,
     }
 
+    defined_names: Dict[str, Set[str]] = {}
     for module, path, tree in modules:
         local_constants = per_module_constants[module]
         _collect_ordering_facts(facts, module, tree)
@@ -298,6 +316,9 @@ def collect_project_facts(
                     facts.exchange_definers.setdefault(
                         node.name, set()
                     ).add(module)
+                if node.name in AGGREGATION_FUNCTIONS:
+                    facts.aggregation_definers.add(module)
+                defined_names.setdefault(module, set()).add(node.name)
             elif isinstance(node, ast.Call):
                 callee = _terminal_name(node.func)
                 if callee == "register_strategy":
@@ -331,6 +352,10 @@ def collect_project_facts(
                         col=node.col_offset + 1,
                     )
                 )
+
+    for module, names in defined_names.items():
+        if {"compress", "decompress"} <= names:
+            facts.codec_definers.add(module)
 
     facts.registrations = [
         CodecRegistration(

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Type
 
+from .agg_site import AggregationSiteRule
 from .annotations import AnnotationsRule
 from .base import Rule
 from .bits import BitAccountingRule
@@ -36,6 +37,7 @@ ALL_RULES: Sequence[Type[Rule]] = (
     SeededRngRule,
     IterationOrderRule,
     MutableDefaultsRule,
+    AggregationSiteRule,
 )
 
 
@@ -74,6 +76,7 @@ def select_rules(selection: Sequence[str]) -> List[Rule]:
 
 __all__ = [
     "ALL_RULES",
+    "AggregationSiteRule",
     "AnnotationsRule",
     "BitAccountingRule",
     "DeprecatedApiRule",

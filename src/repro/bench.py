@@ -26,7 +26,7 @@ import numpy as np
 BENCH_SCHEMA = "repro.bench"
 BENCH_VERSION = 1
 #: Stacked-PR sequence number, also the default artifact suffix.
-BENCH_SEQUENCE = 9
+BENCH_SEQUENCE = 10
 DEFAULT_OUTPUT = f"BENCH_{BENCH_SEQUENCE}.json"
 
 _BENCH_NAME = re.compile(r"^BENCH_(\d+)\.json$")
@@ -171,6 +171,54 @@ def _contention_entries(quick: bool) -> List[Dict[str, Any]]:
     return entries
 
 
+def _aggregation_entries(quick: bool) -> List[Dict[str, Any]]:
+    """Endpoint-vs-switch aggregation sites on a k=4 fat-tree.
+
+    The same worker-aggregator exchange runs once per site with the
+    lossless homomorphic stream; ``link_payload_nbytes`` is the metric
+    the study is about (in-network partial sums shed fan-in bytes from
+    the fabric's links), with engine cycles and reduction counts along
+    for the ride.
+    """
+    from repro.core import profile_for
+    from repro.perfmodel import simulate_wa_exchange
+
+    nbytes = 1_000_000 if quick else 2_000_000
+    stream = profile_for("lossless_hc")
+    entries = []
+    for site in ("endpoint", "switch"):
+        result: Dict[str, Any] = {}
+
+        def run() -> None:
+            r = simulate_wa_exchange(
+                4,
+                nbytes,
+                stream=stream,
+                topology="fat-tree:k=4",
+                agg_site=site,
+            )
+            result["simulated_s"] = r.total_s
+            result["link_payload_nbytes"] = r.link_payload_nbytes
+            result["agg_engine_cycles"] = r.agg_engine_cycles
+            result["switch_reductions"] = r.switch_reductions
+
+        wall = _timed(run, repeats=1)
+        entries.append(
+            _entry(
+                f"aggregation.{site}.fat-tree.w4",
+                wall,
+                workers=4,
+                nbytes=nbytes,
+                agg_site=site,
+                simulated_s=result["simulated_s"],
+                link_payload_nbytes=result["link_payload_nbytes"],
+                agg_engine_cycles=result["agg_engine_cycles"],
+                switch_reductions=result["switch_reductions"],
+            )
+        )
+    return entries
+
+
 def _strategy_entries(quick: bool) -> List[Dict[str, Any]]:
     """End-to-end strategy smoke timings on the tiny HDC model."""
     from repro.distributed import get_strategy, run_strategy
@@ -217,6 +265,7 @@ def run_bench(quick: bool = False) -> Dict[str, Any]:
     results.extend(_codec_entries(quick))
     results.extend(_exchange_entries(quick))
     results.extend(_contention_entries(quick))
+    results.extend(_aggregation_entries(quick))
     results.extend(_strategy_entries(quick))
     return {
         "schema": BENCH_SCHEMA,

@@ -154,6 +154,15 @@ def _add_topology_argument(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_agg_site_argument(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--agg-site", default="endpoint", choices=("endpoint", "switch"),
+        help="where gradients are summed: at the aggregating endpoint "
+        "(default) or in-network at the fabric's switches (needs a "
+        "multi-tier --topology and a homomorphic --codec)",
+    )
+
+
 def _add_tenant_arguments(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--tenants", default=None, metavar="SPEC",
@@ -234,26 +243,30 @@ def _cmd_train(args: argparse.Namespace) -> int:
         stream = inceptionn_profile()
     tracer = _tracer_for(args)
     num_nodes = args.workers + strategy.extra_nodes(args.workers, options)
-    result = run_strategy(
-        strategy,
-        build_net=lambda s: build_hdc(seed=s),
-        make_optimizer=lambda: SGD(LRSchedule(args.lr), momentum=0.9),
-        dataset=hdc_dataset(train_size=600, test_size=150, seed=args.seed),
-        num_workers=args.workers,
-        iterations=args.iterations,
-        batch_size=args.batch_size,
-        cluster=ClusterConfig(
-            num_nodes=num_nodes,
-            profile=stream,
-            loss_rate=args.loss_rate,
-            retransmit=_retransmit_for(args),
-            topology=args.topology,
-        ),
-        stream=stream,
-        tracer=tracer,
-        seed=args.seed,
-        options=options,
-    )
+    try:
+        result = run_strategy(
+            strategy,
+            build_net=lambda s: build_hdc(seed=s),
+            make_optimizer=lambda: SGD(LRSchedule(args.lr), momentum=0.9),
+            dataset=hdc_dataset(train_size=600, test_size=150, seed=args.seed),
+            num_workers=args.workers,
+            iterations=args.iterations,
+            batch_size=args.batch_size,
+            cluster=ClusterConfig(
+                num_nodes=num_nodes,
+                profile=stream,
+                loss_rate=args.loss_rate,
+                retransmit=_retransmit_for(args),
+                topology=args.topology,
+                agg_site=args.agg_site,
+            ),
+            stream=stream,
+            tracer=tracer,
+            seed=args.seed,
+            options=options,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     tag = f"+{args.codec}" if args.codec else ("+C" if args.compress else "")
     extras = result.report.extras if result.report else {}
     notes = ""
@@ -323,6 +336,7 @@ def _cmd_exchange(args: argparse.Namespace) -> int:
             tenants=tenants,
             prioritize=args.prioritize,
             tenant_seed=args.tenant_seed,
+            agg_site=args.agg_site,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -339,6 +353,10 @@ def _cmd_exchange(args: argparse.Namespace) -> int:
     print(f"  per iteration  {result.per_iteration_s * 1e3:10.2f} ms")
     print(f"  total          {result.total_s * 1e3:10.2f} ms")
     print(f"  wire ratio     {result.wire_ratio:10.2f}x")
+    if args.agg_site != "endpoint":
+        print(f"  link payload   {result.link_payload_nbytes / 1e6:10.2f} MB")
+        print(f"  engine cycles  {result.agg_engine_cycles:10d}")
+        print(f"  switch reduces {result.switch_reductions:10d}")
     if args.loss_rate > 0.0:
         print(f"  retransmitted  {result.trains_retransmitted:10d} trains")
     if tenants:
@@ -414,7 +432,10 @@ def _cmd_codecs(args: argparse.Namespace) -> int:
 
     rng = np.random.default_rng(args.seed)
     sample = (rng.standard_normal(1 << 14) * 0.004).astype(np.float32)
-    print(f"{'name':<16}{'tos':<6}{'kind':<10}{'ratio':<8}params")
+    print(
+        f"{'name':<16}{'tos':<6}{'kind':<10}{'capabilities':<28}"
+        f"{'ratio':<8}params"
+    )
     for name in available_codecs():
         codec = get_codec(name)
         ratio = measure_profile_ratio(profile_for(name), sample=sample)
@@ -422,7 +443,11 @@ def _cmd_codecs(args: argparse.Namespace) -> int:
             f"{k}={v}" for k, v in codec.default_params().items()
         ) or "-"
         kind = "lossless" if codec.lossless else "lossy"
-        print(f"{name:<16}{codec_tos(name):#04x}  {kind:<10}{ratio:<8.2f}{params}")
+        caps = ",".join(sorted(codec.capabilities())) or "-"
+        print(
+            f"{name:<16}{codec_tos(name):#04x}  {kind:<10}{caps:<28}"
+            f"{ratio:<8.2f}{params}"
+        )
     return 0
 
 
@@ -548,7 +573,14 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     from repro.sanitize import StrategyScenario, sanitize
 
     known = available_strategies()
-    strategies = args.strategy or list(known)
+    if args.strategy:
+        strategies = args.strategy
+    elif args.agg_site != "endpoint":
+        # Only the worker-aggregator family has a reduction root the
+        # fabric can host; the default sweep narrows accordingly.
+        strategies = ["wa"]
+    else:
+        strategies = list(known)
     for name in strategies:
         if name not in known:
             raise SystemExit(
@@ -566,8 +598,14 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
             loss_rate=args.loss_rate,
             codec=args.codec,
             topology=args.topology,
+            agg_site=args.agg_site,
         )
-        report = sanitize(scenario, perturb_seeds=tuple(args.perturb_seeds))
+        try:
+            report = sanitize(
+                scenario, perturb_seeds=tuple(args.perturb_seeds)
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc))
         if index:
             print()
         print(report.render())
@@ -654,6 +692,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=0)
     _add_topology_argument(p)
+    _add_agg_site_argument(p)
     _add_loss_arguments(p)
     _add_trace_arguments(p)
     p.set_defaults(func=_cmd_train)
@@ -685,6 +724,7 @@ def build_parser() -> argparse.ArgumentParser:
         "priority preemption on shared fabrics)",
     )
     _add_topology_argument(p)
+    _add_agg_site_argument(p)
     _add_tenant_arguments(p)
     _add_loss_arguments(p)
     _add_trace_arguments(p)
@@ -699,7 +739,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--out", default=None, metavar="FILE",
-        help="output artifact path (default: BENCH_9.json)",
+        help="output artifact path (default: BENCH_10.json)",
     )
     p.add_argument(
         "--validate", default=None, metavar="FILE",
@@ -766,6 +806,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="registered codec for the gradient stream",
     )
     _add_topology_argument(p)
+    _add_agg_site_argument(p)
     p.add_argument(
         "--perturb-seeds", type=int, nargs="+", default=[1, 2, 3],
         metavar="S", help="tie-break seeds to try (default: 1 2 3)",

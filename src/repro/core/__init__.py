@@ -18,6 +18,9 @@ from .container import CompressedGradients, GROUP_SIZE
 from .error_feedback import ErrorFeedbackCompressor, feedback_hook
 from . import gradient_file
 from .registry import (
+    CAP_ERROR_FEEDBACK,
+    CAP_HOMOMORPHIC,
+    CAP_LOSSY,
     RAW_STREAM,
     CodecResult,
     GradientCodec,
@@ -28,6 +31,16 @@ from .registry import (
     inceptionn_profile,
     profile_for,
     register_codec,
+)
+
+# Importing these modules registers the homomorphic families (lossless
+# homomorphic compression + THC) and the FFT sparsifier.
+from .fftsparse import FftSparsificationCodec
+from .homomorphic import (
+    LosslessHomomorphicCodec,
+    ThcCodec,
+    floats_from_scaled,
+    scaled_ints,
 )
 from .stats import (
     BitwidthDistribution,
@@ -48,11 +61,19 @@ from .tags import (
 )
 
 __all__ = [
+    "CAP_ERROR_FEEDBACK",
+    "CAP_HOMOMORPHIC",
+    "CAP_LOSSY",
     "DEFAULT_BOUND",
     "ErrorBound",
+    "FftSparsificationCodec",
+    "LosslessHomomorphicCodec",
     "PAPER_BOUNDS",
     "RAW_STREAM",
     "CodecResult",
+    "ThcCodec",
+    "floats_from_scaled",
+    "scaled_ints",
     "GradientCodec",
     "StreamProfile",
     "available_codecs",

@@ -53,7 +53,9 @@ class ErrorFeedbackCompressor:
             self._residual = None
         if self._residual is not None:
             grad = (grad + self._residual).astype(np.float32)
-        wire = compress(grad, self.bound)
+        # Not compressed-domain aggregation: the residual add happens
+        # on the *input* gradient before its (single) encode.
+        wire = compress(grad, self.bound)  # repro-lint: disable=R12 error feedback
         reconstruction = decompress(wire)
         self._residual = (grad - reconstruction).astype(np.float32)
         return wire, reconstruction

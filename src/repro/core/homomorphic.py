@@ -1,0 +1,275 @@
+"""Homomorphic gradient codecs: aggregation in the compressed domain.
+
+INCEPTIONN's endpoint loop decompresses every arriving stream, sums in
+float32 and recompresses the total.  The follow-on literature removes
+that round-trip with codecs whose payloads form a *monoid under
+addition* — a switch (or the aggregating endpoint) can fold streams
+together without ever touching the float domain:
+
+* :class:`LosslessHomomorphicCodec` — lossless homomorphic compression
+  (arXiv 2402.07529).  Every finite float32 is an integer multiple of
+  ``2**-149``, so payloads carry an exact fixed-point image of the
+  values and addition of payloads is exact *and associative*: a fat-tree
+  reduction and a flat endpoint sum produce bit-identical totals no
+  matter the tree shape.
+* :class:`ThcCodec` — THC-style tensor homomorphic compression (arXiv
+  2302.08545).  All streams share one symmetric quantization lattice;
+  payloads carry lattice indices, aggregation sums indices in int64
+  (exact), and the aggregated payload widens by ``ceil(log2(fan_in))``
+  bits per value.
+
+Both codecs keep their exact accumulator in ``CodecResult.state`` so
+partial sums forwarded hop-by-hop through a reduction tree never lose
+precision to the float32 rendering in ``CodecResult.values``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .registry import (
+    CAP_HOMOMORPHIC,
+    CAP_LOSSY,
+    CodecResult,
+    GradientCodec,
+    _flat32,
+    register_codec,
+)
+
+#: Scale exponent of the exact fixed-point image: the smallest positive
+#: float32 (subnormal) is exactly ``2**-149``, so every finite float32
+#: equals ``k * 2**-149`` for some integer ``k``.
+SCALE_BITS = 149
+_SCALE = 1 << SCALE_BITS
+
+
+def scaled_ints(values: np.ndarray) -> Tuple[int, ...]:
+    """Exact integer image of float32 ``values`` at scale ``2**-149``.
+
+    Python integers are unbounded, so sums of these images are exact and
+    associative — the algebraic property homomorphic aggregation needs.
+    """
+    out: List[int] = []
+    for v in _flat32(values).tolist():
+        if not math.isfinite(v):
+            raise ValueError(
+                "homomorphic payloads require finite gradients; got "
+                f"{v!r}"
+            )
+        num, den = v.as_integer_ratio()
+        if _SCALE % den:
+            raise ValueError(f"{v!r} is not on the float32 lattice")
+        out.append(num * (_SCALE // den))
+    return tuple(out)
+
+
+def floats_from_scaled(totals: Sequence[int]) -> np.ndarray:
+    """Render exact fixed-point totals as float32.
+
+    ``int / int`` true division is correctly rounded to float64, so the
+    rendering is a pure function of the exact total — any two reduction
+    orders that reach the same total render identically.
+    """
+    return np.array([t / _SCALE for t in totals], dtype=np.float32)
+
+
+class LosslessHomomorphicCodec(GradientCodec):
+    """Lossless homomorphic compression (arXiv 2402.07529).
+
+    Wire format (modelled, sizes only): a 4-byte header, a zero bitmap
+    of ``ceil(n/8)`` bytes and 4 bytes per nonzero value, with a dense
+    escape capping the payload at ``4 + 4n`` bytes.  The reconstruction
+    is bit-exact, and :meth:`aggregate_compressed` sums the exact
+    fixed-point images carried in ``CodecResult.state``.
+    """
+
+    name = "lossless_hc"
+    lossless = True
+
+    def capabilities(self) -> FrozenSet[str]:
+        return frozenset({CAP_HOMOMORPHIC})
+
+    @staticmethod
+    def _payload_nbytes(values: np.ndarray) -> int:
+        n = values.size
+        sparse = 4 + -(-n // 8) + 4 * int(np.count_nonzero(values))
+        return min(sparse, 4 + 4 * n)
+
+    def compress(self, values: np.ndarray, **params: object) -> CodecResult:
+        arr = _flat32(values)
+        return CodecResult(
+            payload_nbytes=self._payload_nbytes(arr),
+            values=arr.copy(),
+            state=scaled_ints(arr),
+        )
+
+    def aggregate_compressed(
+        self, parts: Sequence[CodecResult], **params: object
+    ) -> CodecResult:
+        if not parts:
+            raise ValueError("aggregation needs at least one part")
+        size = parts[0].values.size
+        columns: List[Tuple[int, ...]] = []
+        for part in parts:
+            if part.values.size != size:
+                raise ValueError(
+                    "aggregation parts must agree on element count: "
+                    f"{part.values.size} != {size}"
+                )
+            state = part.state
+            if isinstance(state, tuple):
+                columns.append(state)
+            else:
+                # A part without its exact accumulator (built outside
+                # this codec) re-enters the lattice from its values —
+                # exact, because the rendering is lossless.
+                columns.append(scaled_ints(part.values))
+        totals = tuple(sum(col) for col in zip(*columns)) if size else ()
+        rendered = floats_from_scaled(totals)
+        return CodecResult(
+            payload_nbytes=self._payload_nbytes(rendered),
+            values=rendered,
+            fan_in=sum(part.fan_in for part in parts),
+            state=totals,
+        )
+
+    def aggregate_payload_nbytes(
+        self,
+        raw_nbytes: int,
+        payload_sizes: Sequence[int],
+        fan_in: int,
+        **params: object,
+    ) -> int:
+        """Size-domain image of aggregation for size-only streams.
+
+        Without values the zero bitmap cannot help, so the model takes
+        the dense escape: header plus one float32 per element.
+        """
+        if not payload_sizes:
+            raise ValueError("aggregation needs at least one part")
+        return 4 + 4 * -(-raw_nbytes // 4)
+
+
+class ThcCodec(GradientCodec):
+    """THC-style tensor homomorphic compression (arXiv 2302.08545).
+
+    Every stream quantizes onto one shared symmetric lattice of
+    ``2**bits`` levels spanning ``[-limit, +limit]``; payloads carry
+    lattice indices.  Aggregation sums indices exactly in int64 and
+    widens the per-value index field by ``ceil(log2(fan_in))`` bits, so
+    switch-side and endpoint-side reductions of the same parts are
+    bit-identical by construction.
+    """
+
+    name = "thc"
+
+    #: Default clip limit: gradients on the paper's shell model sit well
+    #: inside (-2**-5, 2**-5).
+    DEFAULT_BITS = 8
+    DEFAULT_LIMIT = 2.0**-5
+
+    def capabilities(self) -> FrozenSet[str]:
+        return frozenset({CAP_HOMOMORPHIC, CAP_LOSSY})
+
+    def default_params(self) -> Dict[str, object]:
+        return {"bits": self.DEFAULT_BITS, "limit": self.DEFAULT_LIMIT}
+
+    @staticmethod
+    def _lattice(params: Mapping[str, object]) -> Tuple[int, float, float]:
+        bits = int(params.get("bits", ThcCodec.DEFAULT_BITS))
+        limit = float(params.get("limit", ThcCodec.DEFAULT_LIMIT))
+        if bits < 1 or bits > 16:
+            raise ValueError("thc bits must be in [1, 16]")
+        if limit <= 0.0:
+            raise ValueError("thc limit must be positive")
+        step = 2.0 * limit / ((1 << bits) - 1)
+        return bits, limit, step
+
+    @staticmethod
+    def _payload_nbytes(n: int, index_bits: int) -> int:
+        return 8 + -(-(n * index_bits) // 8)
+
+    @staticmethod
+    def _render(indices: np.ndarray, fan_in: int, limit: float, step: float) -> np.ndarray:
+        # Lattice arithmetic is exact in double precision (int64 * float
+        # stays float64), then rounds once to the gradient dtype.
+        return (indices * step - fan_in * limit).astype(np.float32)
+
+    def _indices(
+        self, part: CodecResult, limit: float, step: float
+    ) -> np.ndarray:
+        state = part.state
+        if isinstance(state, np.ndarray) and state.dtype == np.int64:
+            return state
+        # Recover indices from the rendered lattice points: the float32
+        # rendering error is orders of magnitude below step/2.
+        recovered = (part.values + part.fan_in * limit) / step
+        return np.rint(recovered).astype(np.int64)
+
+    def compress(self, values: np.ndarray, **params: object) -> CodecResult:
+        bits, limit, step = self._lattice(params)
+        arr = _flat32(values)
+        clipped = np.clip(arr, -limit, limit)
+        indices = np.rint((clipped + limit) / step).astype(np.int64)
+        return CodecResult(
+            payload_nbytes=self._payload_nbytes(arr.size, bits),
+            values=self._render(indices, 1, limit, step),
+            state=indices,
+        )
+
+    def error_bound(
+        self, values: np.ndarray, **params: object
+    ) -> Optional[float]:
+        _bits, limit, step = self._lattice(params)
+        arr = _flat32(values)
+        excess = 0.0
+        if arr.size:
+            excess = max(0.0, float(np.max(np.abs(arr))) - limit)
+        # Half a lattice step of quantization error, plus whatever the
+        # clip removed, plus a few ulps for the float32 rendering.
+        return step / 2.0 + excess + step * 2.0**-20
+
+    def aggregate_compressed(
+        self, parts: Sequence[CodecResult], **params: object
+    ) -> CodecResult:
+        if not parts:
+            raise ValueError("aggregation needs at least one part")
+        bits, limit, step = self._lattice(params)
+        size = parts[0].values.size
+        total = np.zeros(size, dtype=np.int64)
+        fan_in = 0
+        for part in parts:
+            if part.values.size != size:
+                raise ValueError(
+                    "aggregation parts must agree on element count: "
+                    f"{part.values.size} != {size}"
+                )
+            total = total + self._indices(part, limit, step)
+            fan_in += part.fan_in
+        index_bits = bits + max(0, (fan_in - 1).bit_length())
+        return CodecResult(
+            payload_nbytes=self._payload_nbytes(size, index_bits),
+            values=self._render(total, fan_in, limit, step),
+            fan_in=fan_in,
+            state=total,
+        )
+
+    def aggregate_payload_nbytes(
+        self,
+        raw_nbytes: int,
+        payload_sizes: Sequence[int],
+        fan_in: int,
+        **params: object,
+    ) -> int:
+        if not payload_sizes:
+            raise ValueError("aggregation needs at least one part")
+        bits, _limit, _step = self._lattice(params)
+        index_bits = bits + max(0, (fan_in - 1).bit_length())
+        return self._payload_nbytes(-(-raw_nbytes // 4), index_bits)
+
+
+register_codec(LosslessHomomorphicCodec(), tos=0x44)
+register_codec(ThcCodec(), tos=0x48)

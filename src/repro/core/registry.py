@@ -14,19 +14,28 @@ that contract so any compressor can ride the same transport:
   threads through the transport instead of a ``compressible`` boolean:
   codec name, ToS byte and codec parameters (error bound etc.).
 
-Six codecs are registered out of the box: the INCEPTIONN codec, a
+Seven codecs are registered from this module: the INCEPTIONN codec, a
 lossless identity, and the four comparator baselines (LSB truncation,
 QSGD quantization, DGC sparsification, the SZ-style error-bounded
 compressor) plus the snappy-like lossless LZ — so every offline
 comparison in ``src/repro/baselines`` can now run end-to-end through
-the simulated NIC and fabric.
+the simulated NIC and fabric.  The homomorphic families (lossless
+homomorphic compression, THC) live in :mod:`repro.core.homomorphic`
+and the FFT sparsifier in :mod:`repro.core.fftsparse`; they register
+themselves on import (``repro.core`` imports both).
+
+Codecs may additionally implement the *codec algebra* —
+``aggregate_compressed(parts)`` summing payloads without a decompress
+round-trip — advertised via the :data:`CAP_HOMOMORPHIC` capability
+flag; the aggregation-site layer (``repro.transport.aggregation``)
+keys off it.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,19 +49,36 @@ from .bounds import DEFAULT_BOUND, ErrorBound
 from .codec import compress as _inc_compress
 from .codec import decompress as _inc_decompress
 
+#: Capability flags reported by :meth:`GradientCodec.capabilities`.
+#: ``CAP_HOMOMORPHIC`` marks codecs whose payloads form a monoid under
+#: addition (``aggregate_compressed`` is implemented), ``CAP_LOSSY``
+#: marks inexact reconstructions, and ``CAP_ERROR_FEEDBACK`` marks
+#: codecs whose dropped mass an EF-SGD-style wrapper can re-inject.
+CAP_HOMOMORPHIC = "homomorphic"
+CAP_LOSSY = "lossy"
+CAP_ERROR_FEEDBACK = "error-feedback"
+
 
 @dataclass(frozen=True)
 class CodecResult:
-    """What one ``compress`` call produced.
+    """What one ``compress`` (or ``aggregate_compressed``) call produced.
 
     ``payload_nbytes`` is the measured wire size (what the network
     clocks); ``values`` is the reconstruction (what the receiver
     observes).  Codecs never ship opaque blobs through the simulator —
     the two domains travel together.
+
+    ``fan_in`` counts how many gradient streams are folded into this
+    payload (1 for a fresh ``compress``); ``state``, when a homomorphic
+    codec sets it, is the codec's exact compressed-domain accumulator,
+    carried alongside the float32 rendering so partial sums forwarded
+    through a reduction tree never lose precision.
     """
 
     payload_nbytes: int
     values: np.ndarray
+    fan_in: int = 1
+    state: Optional[object] = None
 
     @property
     def compression_ratio(self) -> float:
@@ -97,6 +123,54 @@ class GradientCodec(abc.ABC):
             return None
         raise NotImplementedError(f"{self.name} must declare an error bound")
 
+    def capabilities(self) -> FrozenSet[str]:
+        """Capability flags (``CAP_*``) for discovery and site checks.
+
+        The default derives ``lossy`` from :attr:`lossless`; codecs with
+        a codec algebra add :data:`CAP_HOMOMORPHIC`, codecs whose
+        dropped mass is re-injectable add :data:`CAP_ERROR_FEEDBACK`.
+        """
+        return frozenset() if self.lossless else frozenset({CAP_LOSSY})
+
+    @property
+    def homomorphic(self) -> bool:
+        """True when payloads aggregate without leaving the codec domain."""
+        return CAP_HOMOMORPHIC in self.capabilities()
+
+    def aggregate_compressed(
+        self, parts: Sequence[CodecResult], **params: object
+    ) -> CodecResult:
+        """Sum compressed ``parts`` without a decompress round-trip.
+
+        The codec algebra: homomorphic codecs return the payload of the
+        aggregate — same wire/value coupling as :meth:`compress`, with
+        ``fan_in`` accumulated and ``state`` carrying the codec's exact
+        accumulator.  Codecs without :data:`CAP_HOMOMORPHIC` raise.
+        """
+        raise NotImplementedError(
+            f"codec {self.name!r} has no codec algebra "
+            "(not homomorphic); aggregate at the endpoint instead"
+        )
+
+    def aggregate_payload_nbytes(
+        self,
+        raw_nbytes: int,
+        payload_sizes: Sequence[int],
+        fan_in: int,
+        **params: object,
+    ) -> int:
+        """Size-domain image of :meth:`aggregate_compressed`.
+
+        For size-only streams (paper-scale sends with no functional
+        array) the reduction runtime needs the aggregated wire size
+        without values; homomorphic codecs model it from the raw byte
+        count and the combined ``fan_in``.
+        """
+        raise NotImplementedError(
+            f"codec {self.name!r} has no codec algebra "
+            "(not homomorphic); aggregate at the endpoint instead"
+        )
+
     def measured_ratio(self, values: np.ndarray, **params: object) -> float:
         """Compression ratio achieved on ``values``."""
         arr = _flat32(values)
@@ -112,6 +186,11 @@ class InceptionnCodec(GradientCodec):
     """The paper's error-bounded hardware codec (Algorithms 2/3)."""
 
     name = "inceptionn"
+
+    def capabilities(self) -> FrozenSet[str]:
+        # The EF-SGD wrapper (repro.core.error_feedback) re-injects the
+        # residual this codec drops.
+        return frozenset({CAP_LOSSY, CAP_ERROR_FEEDBACK})
 
     def default_params(self) -> Dict[str, object]:
         return {"bound": DEFAULT_BOUND.exponent}
@@ -213,6 +292,11 @@ class SparsificationCodec(GradientCodec):
     """
 
     name = "sparsification"
+
+    def capabilities(self) -> FrozenSet[str]:
+        # DGC's defining trick is residual accumulation of the dropped
+        # coordinates — an error-feedback codec by construction.
+        return frozenset({CAP_LOSSY, CAP_ERROR_FEEDBACK})
 
     def default_params(self) -> Dict[str, object]:
         return {"sparsity": 0.9}
@@ -365,8 +449,29 @@ class StreamProfile:
             raise ValueError("raw streams have no codec to resolve")
         return get_codec(self.codec)
 
+    @property
+    def homomorphic(self) -> bool:
+        """True when this stream's codec supports the codec algebra."""
+        return self.codec is not None and self.resolve().homomorphic
+
     def compress(self, values: np.ndarray) -> CodecResult:
         return self.resolve().compress(values, **dict(self.params))
+
+    def aggregate_compressed(
+        self, parts: Sequence[CodecResult]
+    ) -> CodecResult:
+        """Apply the codec algebra with this stream's parameters."""
+        return self.resolve().aggregate_compressed(
+            parts, **dict(self.params)
+        )
+
+    def aggregate_payload_nbytes(
+        self, raw_nbytes: int, payload_sizes: Sequence[int], fan_in: int
+    ) -> int:
+        """Size-domain codec algebra with this stream's parameters."""
+        return self.resolve().aggregate_payload_nbytes(
+            raw_nbytes, payload_sizes, fan_in, **dict(self.params)
+        )
 
     def error_bound(self, values: np.ndarray) -> Optional[float]:
         return self.resolve().error_bound(values, **dict(self.params))

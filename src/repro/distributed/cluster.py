@@ -25,6 +25,7 @@ from repro.dnn.network import Sequential
 from repro.dnn.optim import SGD
 from repro.network import Event
 from repro.obs import Tracer
+from repro.transport.aggregation import AGG_SWITCH, SwitchGather
 from repro.transport.endpoint import ClusterConfig, TransferSummary
 
 from .node import ComputeProfile, ZERO_COMPUTE
@@ -136,6 +137,8 @@ class WorkerAggregatorStrategy(GradientStrategy):
     )
     #: The aggregator pays the update; workers just install weights.
     worker_applies_update = False
+    #: The one strategy with a reduction root the fabric can host.
+    supports_switch_aggregation = True
 
     def extra_nodes(
         self, num_workers: int, options: Mapping[str, Any]
@@ -144,6 +147,14 @@ class WorkerAggregatorStrategy(GradientStrategy):
 
     def setup(self, run: StrategyRun) -> None:
         self._aggregator_id = run.num_workers
+        self._gather: Optional[SwitchGather] = None
+        if run.comm.config.agg_site == AGG_SWITCH:
+            self._gather = SwitchGather(
+                run.comm,
+                root=self._aggregator_id,
+                sources=range(run.num_workers),
+                stream=run.stream,
+            )
         run.comm.spawn(self._aggregator(run))
 
     def _aggregator(
@@ -161,19 +172,31 @@ class WorkerAggregatorStrategy(GradientStrategy):
 
         for _ in range(run.iterations):
             yield from aggregator_exchange(
-                ep, workers, apply_update, profile=run.profile
+                ep,
+                workers,
+                apply_update,
+                profile=run.profile,
+                stream=run.stream,
+                gather=self._gather,
             )
-            sum_dt = run.profile.sum_time(
-                agg_net.nbytes * (run.num_workers - 1)
-            )
-            run.account("gradient_sum", sum_dt, node=agg_id)
+            if self._gather is None:
+                # Switch-site runs pay the sum at the in-network
+                # engines (already on the exchange critical path).
+                sum_dt = run.profile.sum_time(
+                    agg_net.nbytes * (run.num_workers - 1)
+                )
+                run.account("gradient_sum", sum_dt, node=agg_id)
             run.account("update", run.profile.update_s, node=agg_id)
 
     def exchange(
         self, node: NodeContext, iteration: int, gradient: np.ndarray
     ) -> Generator[Event, Any, StrategyUpdate]:
         weights = yield from worker_exchange(
-            node.endpoint, self._aggregator_id, gradient, stream=node.stream
+            node.endpoint,
+            self._aggregator_id,
+            gradient,
+            stream=node.stream,
+            gather=self._gather,
         )
         # Keep local optimizer iteration counters aligned with the
         # aggregator's LR schedule.

@@ -53,6 +53,7 @@ from repro.dnn.optim import SGD
 from repro.dnn.training import LocalTrainer
 from repro.network import Event
 from repro.obs import CAT_PHASE, CAT_STRATEGY, Tracer
+from repro.transport.aggregation import AGG_SWITCH
 from repro.transport.endpoint import ClusterComm, ClusterConfig, Endpoint
 
 from .node import (
@@ -256,6 +257,11 @@ class GradientStrategy(abc.ABC):
     #: Server-centric strategies (the service node owns the optimizer)
     #: set this False and account the update at the server instead.
     worker_applies_update: bool = True
+    #: Whether the strategy can host its gradient sum in-network
+    #: (``ClusterConfig.agg_site = "switch"``).  Only strategies with a
+    #: single reduction root can; the driver rejects the combination
+    #: for everything else.
+    supports_switch_aggregation: bool = False
 
     def extra_nodes(
         self, num_workers: int, options: Mapping[str, Any]
@@ -445,6 +451,12 @@ def run_strategy(
             f"cluster config has {config.num_nodes} nodes, run needs {num_nodes}"
         )
     comm = ClusterComm(config, tracer=tracer)
+    if config.agg_site == AGG_SWITCH and not strat.supports_switch_aggregation:
+        raise ValueError(
+            f"strategy {strat.name!r} has no single reduction root; "
+            "agg_site='switch' only applies to the worker-aggregator "
+            "family"
+        )
     if stream is None and compress_gradients:
         stream = comm.default_profile
 

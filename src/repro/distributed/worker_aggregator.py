@@ -5,6 +5,14 @@ them, applies the weight update, and broadcasts the new weights down.
 Only the gradient (up) leg is compressible — weights do not tolerate
 loss (paper Fig 4), which is exactly the asymmetry INCEPTIONN's
 algorithm removes.
+
+Where the sum happens is the cluster's ``agg_site`` knob.  At the
+endpoint (default) arrivals fold at the aggregator host — through the
+codec algebra when the stream is homomorphic, element-wise otherwise.
+At the switch, a :class:`~repro.transport.aggregation.SwitchGather`
+reduces payloads in-flight and the aggregator only collects the folded
+result; both exchange legs here just pick the site, the mechanics live
+in :mod:`repro.transport.aggregation`.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ import numpy as np
 
 from repro.core import StreamProfile
 from repro.network import Event
+from repro.transport.aggregation import SwitchGather, aggregate_endpoint
 from repro.transport.endpoint import Endpoint
 
 from .node import ComputeProfile
@@ -25,14 +34,20 @@ def worker_exchange(
     aggregator: int,
     gradient: np.ndarray,
     stream: Optional[StreamProfile] = None,
+    gather: Optional[SwitchGather] = None,
 ) -> Generator[Event, Any, np.ndarray]:
     """One worker's iteration legs: send g up, receive w down.
 
     ``stream`` selects the codec profile of the gradient leg (the
-    weight leg down is always raw).  Returns the updated weight vector
-    from the aggregator.
+    weight leg down is always raw).  With a ``gather`` (the switch
+    aggregation site) the gradient rides the reduction tree instead of
+    a host-to-host message.  Returns the updated weight vector from the
+    aggregator.
     """
-    ep.isend(aggregator, gradient, profile=stream)
+    if gather is not None:
+        gather.offer(ep.node_id, gradient)
+    else:
+        ep.isend(aggregator, gradient, profile=stream)
     weights = yield ep.recv(aggregator)
     return weights
 
@@ -42,24 +57,54 @@ def aggregator_exchange(
     workers: List[int],
     apply_update: Callable[[np.ndarray], np.ndarray],
     profile: Optional[ComputeProfile] = None,
+    stream: Optional[StreamProfile] = None,
+    gather: Optional[SwitchGather] = None,
 ) -> Generator[Event, Any, np.ndarray]:
     """One aggregator iteration: gather, sum, update, broadcast.
 
     ``apply_update(total_gradient) -> weight_vector`` is the update rule
     (the aggregator owns the canonical weights and optimizer state).
-    Returns the broadcast weight vector.
+    Three gather dispositions share the update/broadcast tail: the
+    switch site collects the in-network folded part; a homomorphic
+    endpoint stream folds arrivals through the codec algebra (bit-equal
+    to the switch tree); everything else keeps the historical
+    element-wise float32 accumulation verbatim.  Returns the broadcast
+    weight vector.
     """
     total: Optional[np.ndarray] = None
-    for src in workers:
-        grad = yield ep.recv(src)
-        if total is None:
-            total = np.array(grad, dtype=np.float32, copy=True)
-        else:
-            if profile is not None:
+    if gather is not None:
+        part = yield from gather.collect()
+        if part.result is None:
+            raise RuntimeError(
+                "switch gather returned a size-only part; functional "
+                "exchanges must offer real gradient arrays"
+            )
+        total = part.result.values
+    elif (
+        stream is not None
+        and stream.homomorphic
+        and ep.comm.compression_active()
+    ):
+        arrivals: List[np.ndarray] = []
+        for count, src in enumerate(workers):
+            grad = yield ep.recv(src)
+            if count > 0 and profile is not None:
                 yield ep.comm.sim.timeout(profile.sum_time(grad.nbytes))
-            total = (total + grad).astype(np.float32)
-    if total is None:
-        raise ValueError("aggregator needs at least one worker")
+            arrivals.append(grad)
+        if not arrivals:
+            raise ValueError("aggregator needs at least one worker")
+        total = aggregate_endpoint(stream, arrivals)
+    else:
+        for src in workers:
+            grad = yield ep.recv(src)
+            if total is None:
+                total = np.array(grad, dtype=np.float32, copy=True)
+            else:
+                if profile is not None:
+                    yield ep.comm.sim.timeout(profile.sum_time(grad.nbytes))
+                total = (total + grad).astype(np.float32)
+        if total is None:
+            raise ValueError("aggregator needs at least one worker")
     if profile is not None and profile.update_s:
         yield ep.comm.sim.timeout(profile.update_s)
     weights = apply_update(total)

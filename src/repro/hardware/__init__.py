@@ -6,6 +6,7 @@ stream), ToS-based packet classification, and a 100 MHz clock driving
 the timing figures the network simulator consumes.
 """
 
+from .aggregation_engine import AggregationEngine, AggregationStats
 from .axi import BURST_BITS, BURST_BYTES, WORDS_PER_BURST, BurstError, burst_count
 from .blocks import CompressionBlock, DecompressionBlock
 from .compression_engine import (
@@ -31,6 +32,8 @@ from .nic import (
 from .timing import engine_latency_s, engine_throughput_bps, timing_model_for
 
 __all__ = [
+    "AggregationEngine",
+    "AggregationStats",
     "BURST_BITS",
     "BURST_BYTES",
     "WORDS_PER_BURST",

@@ -33,6 +33,12 @@ from .multitier import (
     build_topology,
     parse_topology_spec,
 )
+from .reduction import (
+    ReduceInput,
+    ReduceStage,
+    ReductionPlan,
+    build_reduction_plan,
+)
 from .priority import (
     PRIORITY_CLASSES,
     PRIORITY_DEFAULT,
@@ -87,6 +93,10 @@ __all__ = [
     "MultiTierFabric",
     "build_topology",
     "parse_topology_spec",
+    "ReduceInput",
+    "ReduceStage",
+    "ReductionPlan",
+    "build_reduction_plan",
     "PRIORITY_CLASSES",
     "PRIORITY_DEFAULT",
     "PRIORITY_HIGH",

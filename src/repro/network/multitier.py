@@ -36,7 +36,7 @@ Invariants this module maintains:
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .events import Simulation, flow_hash
 from .fabric import TwoTierFabric
@@ -52,6 +52,9 @@ from .topology import (
     SwitchedStar,
     Topology,
 )
+
+if TYPE_CHECKING:
+    from repro.hardware.aggregation_engine import AggregationEngine
 
 
 class MultiTierFabric(Topology):
@@ -73,6 +76,9 @@ class MultiTierFabric(Topology):
         self._adjacency: Dict[str, List[str]] = {}
         #: node -> destination host -> sorted equal-cost next hops.
         self._next_hops: Dict[str, Dict[str, Tuple[str, ...]]] = {}
+        #: Fabric vertex -> hosted in-network aggregation engine
+        #: (see :meth:`aggregation_engine`).
+        self.aggregation_engines: Dict[str, "AggregationEngine"] = {}
 
     @staticmethod
     def host_id(node: int) -> str:
@@ -134,6 +140,58 @@ class MultiTierFabric(Topology):
         return Route(
             links=tuple(links), forwarding_delay_s=self.switch_delay_s
         )
+
+    def tree_path(self, src: int, dst: int) -> Tuple[str, ...]:
+        """Deterministic reduction-tree walk from ``src`` to ``dst``.
+
+        Unlike :meth:`route`, which hashes per flow — so paths from
+        different sources diverge again downstream of a merge point —
+        this walk always takes the *first* sorted next hop.  Every
+        source converging on ``dst`` therefore shares path suffixes,
+        which is exactly the spanning tree an in-network reduction
+        wants (SwitchML-style).  Returns the vertex ids walked,
+        endpoints included.
+        """
+        self._check_endpoints(src, dst)
+        target = self.host_id(dst)
+        current = self.host_id(src)
+        path = [current]
+        while current != target:
+            current = self._next_hops[current][target][0]
+            path.append(current)
+        return tuple(path)
+
+    def segment_route(self, vertices: Sequence[str]) -> Route:
+        """The :class:`Route` along consecutive fabric ``vertices``."""
+        if len(vertices) < 2:
+            raise ValueError("a route segment needs at least two vertices")
+        links: List[Link] = []
+        for a, b in zip(vertices, vertices[1:]):
+            link = self.links.get((a, b))
+            if link is None:
+                raise ValueError(f"no fabric edge {a}->{b}")
+            links.append(link)
+        return Route(
+            links=tuple(links), forwarding_delay_s=self.switch_delay_s
+        )
+
+    def aggregation_engine(
+        self, vertex: str, factory: Callable[[], "AggregationEngine"]
+    ) -> "AggregationEngine":
+        """The aggregation engine hosted at ``vertex`` (get-or-create).
+
+        Switch vertices host the in-network reduction engines; the
+        aggregating endpoint's host vertex may host one too (its
+        NIC-side adder).  Created lazily via ``factory`` so fabrics pay
+        nothing until a switch-site gather runs.
+        """
+        if vertex not in self._adjacency:
+            raise ValueError(f"unknown fabric vertex {vertex!r}")
+        engine = self.aggregation_engines.get(vertex)
+        if engine is None:
+            engine = factory()
+            self.aggregation_engines[vertex] = engine
+        return engine
 
     def ecmp_path_count(self, src: int, dst: int) -> int:
         """Number of distinct shortest paths between two hosts."""

@@ -176,6 +176,11 @@ class Network:
             for link in getattr(topology, "all_links", lambda: [])():
                 link.attach_tracer(tracer)
         self.total_wire_bytes = 0
+        #: Link-level traffic: wire bytes weighted by hop count.  Unlike
+        #: ``total_wire_bytes`` (once per message), this grows with every
+        #: link a message crosses, so in-network aggregation shows up as
+        #: a reduction even though it sends *more* (shorter) segments.
+        self.total_link_bytes = 0
         self.messages_sent = 0
         # Per-(src, dst) message sequence numbers feed link arbitration
         # keys.  Unlike the global ``messages_sent`` counter, these only
@@ -252,6 +257,56 @@ class Network:
             on_retransmit,
         )
 
+    def send_route(
+        self,
+        route: Route,
+        src: int,
+        dst: int,
+        nbytes: int,
+        wire_payload: int,
+        tos: int = TOS_DEFAULT,
+        payload: object = None,
+        tx_engine_node: Optional[int] = None,
+        rx_engine_node: Optional[int] = None,
+        arb_base: Optional[Tuple[int, int, int]] = None,
+    ) -> Event:
+        """Send over an explicit partial route (reduction-tree segments).
+
+        The in-network aggregation runtime moves payloads between hosts
+        and reduction points along route *segments* rather than full
+        host-to-host routes, with engine stages only where hardware sits:
+        ``tx_engine_node``/``rx_engine_node`` name the endpoint whose
+        compression engines bracket this segment (``None`` for
+        switch-to-switch segments; nodes without engines are skipped).
+        ``arb_base`` must be a deterministic identity for the segment —
+        the reduction plan assigns one per edge — so same-instant link
+        arbitration never depends on callback order.  Returns an event
+        firing at segment delivery with value ``(payload, receipt)``.
+        """
+        tx_engine = (
+            self._tx_engines.get(tx_engine_node)
+            if tx_engine_node is not None
+            else None
+        )
+        rx_engine = (
+            self._rx_engines.get(rx_engine_node)
+            if rx_engine_node is not None
+            else None
+        )
+        return self._dispatch(
+            route,
+            src,
+            dst,
+            nbytes,
+            wire_payload,
+            tos,
+            tx_engine,
+            rx_engine,
+            payload,
+            None,
+            arb_base,
+        )
+
     # -- internals --------------------------------------------------------------
 
     def _launch(
@@ -267,9 +322,39 @@ class Network:
     ) -> Event:
         """Common send path: trace, segment into trains, spawn processes."""
         route = self.topology.route(src, dst, tos=tos)
+        return self._dispatch(
+            route,
+            src,
+            dst,
+            nbytes,
+            wire_payload,
+            tos,
+            self._tx_engines[src] if compress else None,
+            self._rx_engines[dst] if compress else None,
+            payload,
+            on_retransmit,
+            None,
+        )
+
+    def _dispatch(
+        self,
+        route: Route,
+        src: int,
+        dst: int,
+        nbytes: int,
+        wire_payload: int,
+        tos: int,
+        tx_engine: Optional[Link],
+        rx_engine: Optional[Link],
+        payload: object,
+        on_retransmit: Optional[RetransmitHook],
+        arb_base: Optional[Tuple[int, int, int]],
+    ) -> Event:
+        """Trace, segment into trains, spawn train processes."""
         priority: Optional[int] = None
         if self.tos_priority is not None:
             priority = self.tos_priority.get(tos, PRIORITY_DEFAULT)
+        compress = tx_engine is not None or rx_engine is not None
         num_packets = packet_count(nbytes, self.mss)
         wire_total = num_packets * HEADER_BYTES + wire_payload
 
@@ -283,6 +368,7 @@ class Network:
             sent_at=self.sim.now,
         )
         self.total_wire_bytes += wire_total
+        self.total_link_bytes += wire_total * len(route.links)
         self.messages_sent += 1
         tracer = self.tracer
         msg_id = self.messages_sent
@@ -308,9 +394,11 @@ class Network:
                 wire_total
             )
 
-        pair = (src, dst)
-        pair_seq = self._pair_seq.get(pair, 0)
-        self._pair_seq[pair] = pair_seq + 1
+        if arb_base is None:
+            pair = (src, dst)
+            pair_seq = self._pair_seq.get(pair, 0)
+            self._pair_seq[pair] = pair_seq + 1
+            arb_base = (src, dst, pair_seq)
 
         trains = list(self._split_trains(num_packets, wire_payload, nbytes))
         procs = [
@@ -320,11 +408,12 @@ class Network:
                     pkts,
                     wire,
                     raw,
-                    compress,
+                    tx_engine,
+                    rx_engine,
                     src,
                     dst,
                     on_retransmit,
-                    arb_key=(src, dst, pair_seq, index),
+                    arb_key=(*arb_base, index),
                     priority=priority,
                 )
             )
@@ -392,7 +481,8 @@ class Network:
         packets: int,
         wire_bytes: int,
         raw_bytes: int,
-        compress: bool,
+        tx_engine: Optional[Link],
+        rx_engine: Optional[Link],
         src: int,
         dst: int,
         on_retransmit: Optional[RetransmitHook] = None,
@@ -421,14 +511,14 @@ class Network:
 
         # (resource, bytes, head bytes, post-stage delay)
         stages = []
-        if compress:
-            stages.append((self._tx_engines[src], raw_bytes, head_raw, 0.0))
+        if tx_engine is not None:
+            stages.append((tx_engine, raw_bytes, head_raw, 0.0))
         last_hop = len(route.links) - 1
         for hop, link in enumerate(route.links):
             delay = route.forwarding_delay_s if hop < last_hop else 0.0
             stages.append((link, wire_bytes, head_wire, delay))
-        if compress:
-            stages.append((self._rx_engines[dst], raw_bytes, head_raw, 0.0))
+        if rx_engine is not None:
+            stages.append((rx_engine, raw_bytes, head_raw, 0.0))
 
         attempts = 0
         while True:

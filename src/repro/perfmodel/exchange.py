@@ -34,6 +34,12 @@ from repro.distributed.ring import ring_exchange_sizes
 from repro.dnn.models import ModelSpec
 from repro.network import Event, RetransmitPolicy, TenantSpec
 from repro.obs import CAT_PHASE, Tracer
+from repro.transport.aggregation import (
+    AGG_ENDPOINT,
+    AGG_SWITCH,
+    SwitchGather,
+    validate_agg_site,
+)
 from repro.transport.endpoint import ClusterComm, ClusterConfig
 from repro.transport.wire import measure_stream_ratio
 
@@ -86,6 +92,12 @@ class ExchangeResult:
     #: fabric during the exchange (0 = dedicated network).
     background_messages: int = 0
     background_nbytes: int = 0
+    #: Wire payload weighted by hop count — the link-level load the
+    #: fabric carried (the aggregation-site study's comparison figure).
+    link_payload_nbytes: int = 0
+    #: In-network aggregation accounting (0 under the endpoint site).
+    agg_engine_cycles: int = 0
+    switch_reductions: int = 0
 
     @property
     def per_iteration_s(self) -> float:
@@ -111,6 +123,7 @@ def _check_flow_supported(
     topology: Optional[str] = None,
     tenants: Sequence[TenantSpec] = (),
     prioritize: bool = False,
+    agg_site: str = AGG_ENDPOINT,
 ) -> None:
     """Flow fidelity models dedicated, lossless, untraced stars only."""
     if (
@@ -120,11 +133,12 @@ def _check_flow_supported(
         or (topology is not None and topology != "star")
         or tenants
         or prioritize
+        or agg_site != AGG_ENDPOINT
     ):
         raise ValueError(
             "fidelity='flow' does not model tracing, loss, retransmission, "
-            "multi-tier topologies or background tenants; use "
-            "fidelity='packet' for those studies"
+            "multi-tier topologies, background tenants or in-network "
+            "aggregation; use fidelity='packet' for those studies"
         )
 
 
@@ -142,6 +156,7 @@ def _make_comm(
     tenants: Sequence[TenantSpec] = (),
     prioritize: bool = False,
     tenant_seed: int = 0,
+    agg_site: str = AGG_ENDPOINT,
 ) -> ClusterComm:
     return ClusterComm(
         ClusterConfig(
@@ -157,6 +172,7 @@ def _make_comm(
             tenants=tuple(tenants),
             prioritize=prioritize,
             tenant_seed=tenant_seed,
+            agg_site=agg_site,
         ),
         tracer=tracer,
     )
@@ -206,6 +222,7 @@ def simulate_wa_exchange(
     tenants: Sequence[TenantSpec] = (),
     prioritize: bool = False,
     tenant_seed: int = 0,
+    agg_site: str = AGG_ENDPOINT,
 ) -> ExchangeResult:
     """Worker-aggregator iterations: gather g up, sum, update, scatter w.
 
@@ -227,7 +244,13 @@ def simulate_wa_exchange(
     ``prioritize`` enables strict per-ToS priority queueing protecting
     the exchange.  With tenants present the reported ``total_s`` is the
     foreground completion time (the fabric itself never idles).
+
+    ``agg_site="switch"`` moves the gradient sum in-network: sized
+    payloads ride the fabric's reduction tree and every merge vertex
+    folds its fan-in through an aggregation engine (needs a multi-tier
+    ``topology``, a homomorphic ``stream``, and packet fidelity).
     """
+    validate_agg_site(agg_site)
     if num_workers < 2:
         raise ValueError("need at least two workers")
     aggregator = num_workers
@@ -237,7 +260,13 @@ def simulate_wa_exchange(
         gradient_ratio = measure_profile_ratio(stream)
     if fidelity == "flow":
         _check_flow_supported(
-            tracer, loss_rate, retransmit, topology, tenants, prioritize
+            tracer,
+            loss_rate,
+            retransmit,
+            topology,
+            tenants,
+            prioritize,
+            agg_site,
         )
         from .flowsim import simulate_wa_exchange_flow
 
@@ -271,7 +300,16 @@ def simulate_wa_exchange(
         tenants=tenants,
         prioritize=prioritize,
         tenant_seed=tenant_seed,
+        agg_site=agg_site,
     )
+    gather: Optional[SwitchGather] = None
+    if agg_site == AGG_SWITCH:
+        gather = SwitchGather(
+            comm,
+            root=aggregator,
+            sources=range(num_workers),
+            stream=stream,
+        )
     sums = {"sum_s": 0.0, "update_s": 0.0}
 
     def worker(i: int):
@@ -282,35 +320,43 @@ def simulate_wa_exchange(
                 yield comm.sim.timeout(profile.local_compute_s)
                 if tracer is not None and i == 0:
                     record_compute_phases(tracer, profile, compute_start, i)
-            ep.isend_message(
-                ep.build_message(
-                    aggregator,
-                    nbytes=nbytes,
-                    profile=stream,
-                    ratio=gradient_ratio,
+            if gather is not None:
+                gather.offer(i, nbytes=nbytes, ratio=gradient_ratio)
+            else:
+                ep.isend_message(
+                    ep.build_message(
+                        aggregator,
+                        nbytes=nbytes,
+                        profile=stream,
+                        ratio=gradient_ratio,
+                    )
                 )
-            )
             yield ep.recv(aggregator)
 
     def agg():
         ep = comm.endpoints[aggregator]
         for _ in range(iterations):
-            for count, src in enumerate(range(num_workers)):
-                yield ep.recv(src)
-                if count > 0:
-                    dt = profile.sum_time(nbytes)
-                    sums["sum_s"] += dt
-                    if dt:
-                        sum_start = comm.sim.now
-                        yield comm.sim.timeout(dt)
-                        if tracer is not None:
-                            tracer.span(
-                                "gradient_sum",
-                                cat=CAT_PHASE,
-                                ts=sum_start,
-                                dur=dt,
-                                node=aggregator,
-                            )
+            if gather is not None:
+                # The sum rides the reduction tree; its engine time is
+                # inside collect()'s critical path.
+                yield from gather.collect()
+            else:
+                for count, src in enumerate(range(num_workers)):
+                    yield ep.recv(src)
+                    if count > 0:
+                        dt = profile.sum_time(nbytes)
+                        sums["sum_s"] += dt
+                        if dt:
+                            sum_start = comm.sim.now
+                            yield comm.sim.timeout(dt)
+                            if tracer is not None:
+                                tracer.span(
+                                    "gradient_sum",
+                                    cat=CAT_PHASE,
+                                    ts=sum_start,
+                                    dur=dt,
+                                    node=aggregator,
+                                )
             if profile.update_s:
                 sums["update_s"] += profile.update_s
                 update_start = comm.sim.now
@@ -347,6 +393,9 @@ def simulate_wa_exchange(
         trains_retransmitted=comm.network.trains_retransmitted,
         background_messages=background.total_messages if background else 0,
         background_nbytes=background.total_bytes if background else 0,
+        link_payload_nbytes=summary.link_payload_nbytes,
+        agg_engine_cycles=gather.engine_cycles() if gather else 0,
+        switch_reductions=gather.switch_reductions if gather else 0,
     )
 
 
@@ -371,6 +420,7 @@ def simulate_ring_exchange(
     tenants: Sequence[TenantSpec] = (),
     prioritize: bool = False,
     tenant_seed: int = 0,
+    agg_site: str = AGG_ENDPOINT,
 ) -> ExchangeResult:
     """Ring iterations at paper scale (every hop on the gradient stream).
 
@@ -387,6 +437,12 @@ def simulate_ring_exchange(
     :func:`simulate_wa_exchange`; with tenants present ``total_s`` is
     the foreground completion time.
     """
+    validate_agg_site(agg_site)
+    if agg_site != AGG_ENDPOINT:
+        raise ValueError(
+            "the ring has no single reduction root; agg_site='switch' "
+            "only applies to the worker-aggregator exchange"
+        )
     if num_workers < 2:
         raise ValueError("need at least two workers")
     if stream is None and compress_gradients:
@@ -501,4 +557,5 @@ def simulate_ring_exchange(
         trains_retransmitted=comm.network.trains_retransmitted,
         background_messages=background.total_messages if background else 0,
         background_nbytes=background.total_bytes if background else 0,
+        link_payload_nbytes=summary.link_payload_nbytes,
     )

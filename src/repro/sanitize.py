@@ -116,6 +116,7 @@ class StrategyScenario(Scenario):
         test_size: int = 40,
         batch_size: int = 10,
         topology: Optional[str] = None,
+        agg_site: str = "endpoint",
         options: Optional[Mapping[str, Any]] = None,
     ) -> None:
         self.strategy = strategy
@@ -128,10 +129,13 @@ class StrategyScenario(Scenario):
         self.test_size = test_size
         self.batch_size = batch_size
         self.topology = topology
+        self.agg_site = agg_site
         self.options = dict(options or {})
         tag = f"{strategy}+loss" if loss_rate else strategy
         if topology is not None:
             tag = f"{tag}@{topology}"
+        if agg_site != "endpoint":
+            tag = f"{tag}%{agg_site}"
         self.name = f"{tag} x{workers}"
 
     def execute(
@@ -167,6 +171,7 @@ class StrategyScenario(Scenario):
                 retransmit=RetransmitPolicy() if self.loss_rate else None,
                 tie_break=tie_break,
                 topology=self.topology,
+                agg_site=self.agg_site,
             ),
             stream=stream,
             tracer=tracer,

@@ -1,5 +1,15 @@
 """Transport layer: endpoints, collectives, ToS tagging over the simulator."""
 
+from .aggregation import (
+    AGG_ENDPOINT,
+    AGG_SITES,
+    AGG_SWITCH,
+    GatherPart,
+    SwitchGather,
+    aggregate_endpoint,
+    combine_parts,
+    validate_agg_site,
+)
 from .collectives import (
     broadcast_from_root,
     recv_from,
@@ -22,6 +32,14 @@ from .wire import (
 )
 
 __all__ = [
+    "AGG_ENDPOINT",
+    "AGG_SITES",
+    "AGG_SWITCH",
+    "GatherPart",
+    "SwitchGather",
+    "aggregate_endpoint",
+    "combine_parts",
+    "validate_agg_site",
     "broadcast_from_root",
     "recv_from",
     "reduce_to_root",

@@ -45,6 +45,7 @@ from repro.network.packet import TOS_DEFAULT
 from repro.network.topology import DEFAULT_BANDWIDTH_BPS, Topology
 from repro.obs import CAT_CODEC, Tracer
 
+from .aggregation import AGG_ENDPOINT, validate_agg_site
 from .wire import WireMessage, account_tx_traversal, build_wire_message
 
 
@@ -60,6 +61,10 @@ class TransferLog:
     sent_at: float
     #: Name of the codec that processed the stream (None for raw).
     codec: Optional[str] = None
+    #: Links this message's route traverses (1 for a direct hop).  Route
+    #: *segments* from the switch aggregation site log their own hop
+    #: counts, which is what makes in-network fan-in reduction visible.
+    hops: int = 1
 
 
 @dataclass(frozen=True)
@@ -70,6 +75,12 @@ class TransferSummary:
     nbytes: int = 0
     wire_payload_nbytes: int = 0
     compressed_messages: int = 0
+    #: Wire payload weighted by hop count — the link-level load the
+    #: fabric actually carries.  The figure the aggregation-site study
+    #: compares: switch-site reduction sends *more* (shorter) segments
+    #: but loads far fewer link-bytes than hauling every stream
+    #: end-to-end.
+    link_payload_nbytes: int = 0
 
     @property
     def wire_ratio(self) -> float:
@@ -90,10 +101,12 @@ def summarize_transfers(transfers: Sequence[TransferLog]) -> TransferSummary:
     nbytes = 0
     wire_payload = 0
     compressed = 0
+    link_payload = 0
     for log in transfers:
         messages += 1
         nbytes += log.nbytes
         wire_payload += log.wire_payload_nbytes
+        link_payload += log.wire_payload_nbytes * log.hops
         if log.compressed:
             compressed += 1
     return TransferSummary(
@@ -101,6 +114,7 @@ def summarize_transfers(transfers: Sequence[TransferLog]) -> TransferSummary:
         nbytes=nbytes,
         wire_payload_nbytes=wire_payload,
         compressed_messages=compressed,
+        link_payload_nbytes=link_payload,
     )
 
 
@@ -148,8 +162,15 @@ class ClusterConfig:
     prioritize: bool = False
     #: Seed for background-tenant arrival randomness.
     tenant_seed: int = 0
+    #: Where gradient summation happens: ``"endpoint"`` (the historical
+    #: disposition — every stream crosses the fabric and the aggregating
+    #: host folds arrivals) or ``"switch"`` (in-network reduction at the
+    #: fabric's merge vertices; needs a multi-tier topology and a
+    #: homomorphic stream codec — see :mod:`repro.transport.aggregation`).
+    agg_site: str = AGG_ENDPOINT
 
     def __post_init__(self) -> None:
+        validate_agg_site(self.agg_site)
         if self.compression:
             warnings.warn(
                 "ClusterConfig(compression=True) is deprecated; pass "
@@ -487,6 +508,9 @@ class Endpoint:
                 msg.wire_payload_nbytes,
                 msg.size_only,
             )
+        route = self.comm.network.topology.route(
+            msg.src, msg.dst, tos=msg.tos
+        )
         self.comm.transfers.append(
             TransferLog(
                 src=msg.src,
@@ -496,6 +520,7 @@ class Endpoint:
                 compressed=msg.compressed,
                 sent_at=self.comm.sim.now,
                 codec=msg.codec,
+                hops=len(route.links),
             )
         )
         tx_nic = self.comm.nics[msg.src]

@@ -4,6 +4,7 @@ import textwrap
 
 import pytest
 
+from repro.analysis.rules.agg_site import AggregationSiteRule
 from repro.analysis.rules.annotations import AnnotationsRule
 from repro.analysis.rules.bits import BitAccountingRule
 from repro.analysis.rules.deprecated import DeprecatedApiRule
@@ -649,5 +650,127 @@ class TestStrategyCalls:
                 ),
             },
             rules=[StrategyCallsRule()],
+        )
+        assert findings == []
+
+
+AGGREGATION_LAYER = """
+def combine_parts(stream, parts):
+    return stream.aggregate_compressed(parts)
+
+
+def aggregate_endpoint(stream, gradients):
+    parts = [stream.compress(g) for g in gradients]
+    return stream.aggregate_compressed(parts)
+"""
+
+INLINE_REAGGREGATION = """
+def fold(codec, payloads):
+    total = None
+    for payload in payloads:
+        grad = codec.decompress(payload)
+        total = grad if total is None else total + grad
+    return codec.compress(total)
+"""
+
+
+class TestAggregationSite:
+    def test_flags_inline_decompress_sum_recompress(self, lint_tree):
+        findings = lint_tree(
+            {
+                "repro/transport/aggregation.py": AGGREGATION_LAYER,
+                "repro/distributed/custom.py": INLINE_REAGGREGATION,
+            },
+            rules=[AggregationSiteRule()],
+        )
+        assert codes(findings) == ["R12"]
+        assert "aggregate_compressed" in findings[0].message
+        assert findings[0].path.endswith("distributed/custom.py")
+
+    def test_aggregation_layer_itself_is_exempt(self, lint_tree):
+        findings = lint_tree(
+            {
+                "repro/transport/aggregation.py": AGGREGATION_LAYER
+                + INLINE_REAGGREGATION,
+            },
+            rules=[AggregationSiteRule()],
+        )
+        assert findings == []
+
+    def test_codec_modules_are_exempt(self, lint_tree):
+        # A codec may reconstruct and re-encode internally (error
+        # feedback); only call sites outside codec modules are confined.
+        findings = lint_tree(
+            {
+                "repro/transport/aggregation.py": AGGREGATION_LAYER,
+                "repro/core/mycodec.py": """
+                def compress(values, bound):
+                    return values
+
+
+                def decompress(wire):
+                    return wire
+
+
+                def fold(payloads):
+                    total = decompress(payloads[0]) + decompress(payloads[1])
+                    return compress(total, 10)
+                """,
+            },
+            rules=[AggregationSiteRule()],
+        )
+        assert findings == []
+
+    def test_decompress_without_sum_is_fine(self, lint_tree):
+        findings = lint_tree(
+            {
+                "repro/transport/aggregation.py": AGGREGATION_LAYER,
+                "repro/perfmodel/roundtrip.py": """
+                def roundtrip(codec, grad):
+                    wire = codec.compress(grad)
+                    return codec.decompress(wire)
+                """,
+            },
+            rules=[AggregationSiteRule()],
+        )
+        assert findings == []
+
+    def test_cost_models_do_not_match(self, lint_tree):
+        # compression_time/decompression_time are throughput models,
+        # not payload operations: word-boundary matching skips them.
+        findings = lint_tree(
+            {
+                "repro/transport/aggregation.py": AGGREGATION_LAYER,
+                "repro/baselines/cost.py": """
+                def roundtrip_time(codec, nbytes):
+                    total = nbytes + 1
+                    return codec.compression_time(total) + (
+                        codec.decompression_time(total)
+                    )
+                """,
+            },
+            rules=[AggregationSiteRule()],
+        )
+        assert findings == []
+
+    def test_no_aggregation_layer_means_no_checks(self, lint_snippet):
+        findings = lint_snippet(
+            "distributed/custom.py",
+            INLINE_REAGGREGATION,
+            rules=[AggregationSiteRule()],
+        )
+        assert findings == []
+
+    def test_suppression_comment_silences_r12(self, lint_tree):
+        findings = lint_tree(
+            {
+                "repro/transport/aggregation.py": AGGREGATION_LAYER,
+                "repro/distributed/custom.py": """
+                def fold(codec, payloads):
+                    total = sum(codec.decompress(p) for p in payloads)
+                    return codec.compress(total)  # repro-lint: disable=R12 legacy shim
+                """,
+            },
+            rules=[AggregationSiteRule()],
         )
         assert findings == []

@@ -1,0 +1,200 @@
+"""Compressed-domain aggregation algebra of the homomorphic codecs.
+
+The aggregation-site refactor only works if ``aggregate_compressed``
+really is a drop-in for decompress -> sum -> recompress: bit-exactly for
+the lossless family, within the pinned lattice bound for THC, and
+independent of the reduction-tree shape for both (a switch tree must
+produce the same bits as the flat endpoint fold).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CAP_ERROR_FEEDBACK,
+    CAP_HOMOMORPHIC,
+    CAP_LOSSY,
+    CodecResult,
+    get_codec,
+    profile_for,
+)
+
+HOMOMORPHIC = ("lossless_hc", "thc")
+
+
+def _grads(fan_in, n=257, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        (rng.standard_normal(n) * 0.004).astype(np.float32)
+        for _ in range(fan_in)
+    ]
+
+
+def _strip_state(part):
+    """A part as a remote peer would rebuild it: values only, no state."""
+    return CodecResult(
+        payload_nbytes=part.payload_nbytes,
+        values=part.values,
+        fan_in=part.fan_in,
+    )
+
+
+class TestCapabilities:
+    def test_homomorphic_flags(self):
+        assert get_codec("lossless_hc").capabilities() == frozenset(
+            {CAP_HOMOMORPHIC}
+        )
+        assert get_codec("thc").capabilities() == frozenset(
+            {CAP_HOMOMORPHIC, CAP_LOSSY}
+        )
+
+    def test_non_homomorphic_codecs_say_so(self):
+        assert not get_codec("inceptionn").homomorphic
+        assert CAP_ERROR_FEEDBACK in get_codec("inceptionn").capabilities()
+        assert not get_codec("identity").homomorphic
+
+    def test_stream_profile_mirrors_codec(self):
+        assert profile_for("lossless_hc").homomorphic
+        assert profile_for("thc").homomorphic
+        assert not profile_for("truncation").homomorphic
+
+    def test_non_homomorphic_aggregate_raises(self):
+        stream = profile_for("inceptionn")
+        parts = [stream.compress(g) for g in _grads(2)]
+        with pytest.raises(NotImplementedError):
+            stream.aggregate_compressed(parts)
+
+
+class TestLosslessHc:
+    @pytest.mark.parametrize("fan_in", [2, 4, 8])
+    def test_matches_decompress_sum_recompress_bit_exactly(self, fan_in):
+        stream = profile_for("lossless_hc")
+        grads = _grads(fan_in, seed=fan_in)
+        parts = [stream.compress(g) for g in grads]
+        agg = stream.aggregate_compressed(parts)
+        # The endpoint reference: reconstruct every part (lossless:
+        # values ARE the reconstruction), sum exactly, re-encode.
+        reference = stream.compress(
+            np.sum(grads, axis=0, dtype=np.float64).astype(np.float32)
+        )
+        np.testing.assert_array_equal(agg.values, reference.values)
+        assert agg.fan_in == fan_in
+        assert agg.payload_nbytes == reference.payload_nbytes
+
+    def test_tree_shape_cannot_change_the_result(self):
+        stream = profile_for("lossless_hc")
+        parts = [stream.compress(g) for g in _grads(8, seed=3)]
+        flat = stream.aggregate_compressed(parts)
+        tree = stream.aggregate_compressed(
+            [
+                stream.aggregate_compressed(
+                    [
+                        stream.aggregate_compressed(parts[0:2]),
+                        stream.aggregate_compressed(parts[2:4]),
+                    ]
+                ),
+                stream.aggregate_compressed(parts[4:8]),
+            ]
+        )
+        np.testing.assert_array_equal(flat.values, tree.values)
+        assert flat.fan_in == tree.fan_in == 8
+        assert flat.payload_nbytes == tree.payload_nbytes
+
+    def test_stateless_parts_rebuild_the_accumulator(self):
+        stream = profile_for("lossless_hc")
+        parts = [stream.compress(g) for g in _grads(4, seed=5)]
+        with_state = stream.aggregate_compressed(parts)
+        without = stream.aggregate_compressed(
+            [_strip_state(p) for p in parts]
+        )
+        np.testing.assert_array_equal(with_state.values, without.values)
+
+
+class TestThc:
+    def _lattice(self, stream):
+        bits = int(stream.params.get("bits", 8))
+        limit = float(stream.params.get("limit", 2.0**-5))
+        step = 2.0 * limit / (2**bits - 1)
+        return bits, limit, step
+
+    @pytest.mark.parametrize("fan_in", [2, 4, 8])
+    def test_within_half_step_of_recompression(self, fan_in):
+        stream = profile_for("thc")
+        _bits, limit, step = self._lattice(stream)
+        # Small enough that the summed gradient stays inside the base
+        # lattice: compress() clips at +/-limit, while the aggregated
+        # lattice legitimately spans +/-fan_in*limit.
+        grads = [g * 0.25 for g in _grads(fan_in, seed=10 + fan_in)]
+        parts = [stream.compress(g) for g in grads]
+        assert np.max(np.abs(np.sum(grads, axis=0))) < limit
+        agg = stream.aggregate_compressed(parts)
+        # Re-quantizing the summed reconstructions onto the base
+        # lattice moves each element at most half a step; the exact
+        # index-domain sum cannot drift further than that.
+        reference = stream.compress(
+            np.sum(
+                [p.values for p in parts], axis=0, dtype=np.float64
+            ).astype(np.float32)
+        )
+        diff = np.max(np.abs(agg.values - reference.values))
+        assert diff <= step / 2 + step * 2.0**-16
+        assert agg.fan_in == fan_in
+
+    @pytest.mark.parametrize("fan_in", [2, 4, 8])
+    def test_aggregated_payload_widens_with_fan_in(self, fan_in):
+        stream = profile_for("thc")
+        bits, _limit, _step = self._lattice(stream)
+        parts = [stream.compress(g) for g in _grads(fan_in, seed=2)]
+        agg = stream.aggregate_compressed(parts)
+        index_bits = bits + (fan_in - 1).bit_length()
+        n = parts[0].values.size
+        assert agg.payload_nbytes == stream.aggregate_payload_nbytes(
+            n * 4, [p.payload_nbytes for p in parts], fan_in
+        )
+        assert agg.payload_nbytes > parts[0].payload_nbytes
+        assert agg.payload_nbytes == pytest.approx(
+            4 + -(-n * index_bits // 8), abs=8
+        )
+
+    def test_tree_equals_flat_bit_exactly(self):
+        stream = profile_for("thc")
+        parts = [stream.compress(g) for g in _grads(8, seed=7)]
+        flat = stream.aggregate_compressed(parts)
+        tree = stream.aggregate_compressed(
+            [
+                stream.aggregate_compressed(parts[0:4]),
+                stream.aggregate_compressed(parts[4:8]),
+            ]
+        )
+        np.testing.assert_array_equal(flat.values, tree.values)
+        assert flat.payload_nbytes == tree.payload_nbytes
+
+    def test_stateless_parts_recover_exact_indices(self):
+        # The float32 rendering is fine enough that lattice indices are
+        # recoverable exactly — the property that makes the endpoint
+        # recompress path bit-equal to the switch tree.
+        stream = profile_for("thc")
+        parts = [stream.compress(g) for g in _grads(4, seed=9)]
+        with_state = stream.aggregate_compressed(parts)
+        without = stream.aggregate_compressed(
+            [_strip_state(p) for p in parts]
+        )
+        np.testing.assert_array_equal(with_state.values, without.values)
+
+
+class TestFftSparse:
+    def test_registered_lossy_error_feedback_endpoint_codec(self):
+        codec = get_codec("fft_sparse")
+        assert codec.capabilities() == frozenset(
+            {CAP_LOSSY, CAP_ERROR_FEEDBACK}
+        )
+        assert not codec.homomorphic
+
+    def test_keeps_fraction_of_spectrum(self):
+        stream = profile_for("fft_sparse")
+        grad = _grads(1, n=1024, seed=4)[0]
+        result = stream.compress(grad)
+        assert result.payload_nbytes < grad.nbytes
+        bound = stream.error_bound(grad)
+        assert bound is not None
+        assert np.max(np.abs(result.values - grad)) <= bound

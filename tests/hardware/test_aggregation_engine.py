@@ -1,0 +1,86 @@
+"""Cycle/throughput accounting of the switch-side aggregation engine."""
+
+import pytest
+
+from repro.hardware import AggregationEngine, AggregationStats
+from repro.hardware.axi import BURST_BITS
+from repro.hardware.compression_engine import (
+    DEFAULT_CLOCK_HZ,
+    PIPELINE_DEPTH,
+)
+
+
+def _bursts(nbytes):
+    return -(-(nbytes * 8) // BURST_BITS)
+
+
+def test_reduce_cycles_are_bursts_plus_pipeline_drain():
+    engine = AggregationEngine()
+    stats = engine.reduce([1024, 1024], output_nbytes=1024)
+    assert stats.fan_in == 2
+    assert stats.bytes_in == 2048
+    assert stats.bytes_out == 1024
+    assert stats.cycles == _bursts(1024) * 2 + PIPELINE_DEPTH
+
+
+def test_lanes_divide_the_streaming_beats():
+    narrow = AggregationEngine(lanes=1).reduce([4096] * 4, 4096)
+    wide = AggregationEngine(lanes=4).reduce([4096] * 4, 4096)
+    beats = _bursts(4096) * 4
+    assert narrow.cycles == beats + PIPELINE_DEPTH
+    assert wide.cycles == -(-beats // 4) + PIPELINE_DEPTH
+    assert wide.cycles < narrow.cycles
+
+
+def test_partial_bursts_round_up():
+    stats = AggregationEngine().reduce([1], 1)
+    assert stats.cycles == 1 + PIPELINE_DEPTH
+
+
+def test_totals_accumulate_across_reductions():
+    engine = AggregationEngine()
+    engine.reduce([512, 512], 512)
+    engine.reduce([512, 512, 512], 512)
+    assert engine.total_reductions == 2
+    assert engine.total_bytes_in == 512 * 5
+    assert engine.total_bytes_out == 1024
+    assert engine.total_cycles == (
+        _bursts(512) * 5 + 2 * PIPELINE_DEPTH
+    )
+
+
+def test_elapsed_and_throughput_follow_the_clock():
+    engine = AggregationEngine(clock_hz=1e6)
+    stats = engine.reduce([BURST_BITS // 8] * 2, BURST_BITS // 8)
+    assert stats.elapsed_s(1e6) == stats.cycles / 1e6
+    assert engine.elapsed_s() == engine.total_cycles / 1e6
+    expected_bps = engine.total_bytes_in * 8 * 1e6 / engine.total_cycles
+    assert engine.throughput_bps() == pytest.approx(expected_bps)
+
+
+def test_idle_engine_reports_zero_throughput():
+    assert AggregationEngine().throughput_bps() == 0.0
+
+
+def test_default_clock_matches_compression_engines():
+    assert AggregationEngine().clock_hz == DEFAULT_CLOCK_HZ
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        AggregationEngine(lanes=0)
+    with pytest.raises(ValueError):
+        AggregationEngine(clock_hz=0)
+    engine = AggregationEngine()
+    with pytest.raises(ValueError):
+        engine.reduce([], 0)
+    with pytest.raises(ValueError):
+        engine.reduce([-1], 0)
+    with pytest.raises(ValueError):
+        engine.reduce([1], -1)
+
+
+def test_stats_are_frozen():
+    stats = AggregationStats(fan_in=2, bytes_in=8, bytes_out=4, cycles=5)
+    with pytest.raises(AttributeError):
+        stats.cycles = 6

@@ -1,0 +1,109 @@
+"""Reduction-plan construction over multi-tier fabrics.
+
+The plan is the static skeleton of in-network aggregation: a spanning
+tree of the hosts' routes toward the root, with a reduce stage at every
+vertex where two or more branches meet and one final stage at the root
+host.  Everything downstream (SwitchGather, the engines, the link
+accounting) trusts its shape, so the shape is pinned here.
+"""
+
+import pytest
+
+from repro.network import (
+    FatTree,
+    Simulation,
+    build_reduction_plan,
+)
+
+
+def _fabric(k=4):
+    sim = Simulation()
+    return sim, FatTree(sim, k=k)
+
+
+def test_tree_paths_converge_toward_the_root():
+    _, ft = _fabric()
+    # Hosts in the same edge group share every vertex after the edge
+    # switch; the deterministic next-hop choice ignores ECMP hashing.
+    p0 = ft.tree_path(0, 4)
+    p1 = ft.tree_path(1, 4)
+    assert p0[0] == "h0" and p1[0] == "h1"
+    assert p0[1:] == p1[1:]
+    assert p0[1].startswith("p0e")
+    assert p0[-1] == "h4"
+
+
+def test_plan_shape_on_fat_tree_k4():
+    _, ft = _fabric()
+    plan = build_reduction_plan(ft, sources=range(4), root=4)
+    assert plan.root == 4
+    assert plan.sources == (0, 1, 2, 3)
+    # Two edge-switch merges (hosts 0+1 and 2+3), one pod-aggregation
+    # merge of those, and the final stage at the root host.
+    assert len(plan.stages) == 4
+    fan_ins = [stage.fan_in for stage in plan.stages]
+    assert fan_ins == [2, 2, 2, 1]
+    assert plan.stages[-1] is plan.root_stage
+    assert plan.root_stage.vertex == "h4"
+    assert len(plan.switch_stages) == 3
+    # One wire segment per input across all stages, numbered globally.
+    assert plan.num_segments == 7
+    segments = [
+        inp.segment for stage in plan.stages for inp in stage.inputs
+    ]
+    assert sorted(segments) == list(range(7))
+
+
+def test_children_complete_before_their_parent():
+    _, ft = _fabric()
+    plan = build_reduction_plan(ft, sources=range(4), root=4)
+    for index, stage in enumerate(plan.stages):
+        for inp in stage.inputs:
+            if inp.stage is not None:
+                assert inp.stage < index
+
+
+def test_segment_routes_walk_the_recorded_vertices():
+    _, ft = _fabric()
+    plan = build_reduction_plan(ft, sources=range(4), root=4)
+    for stage in plan.stages:
+        for inp in stage.inputs:
+            route = ft.segment_route(inp.vertices)
+            assert len(route.links) == len(inp.vertices) - 1
+
+
+def test_single_source_degenerates_to_one_root_stage():
+    _, ft = _fabric()
+    plan = build_reduction_plan(ft, sources=[0], root=4)
+    assert len(plan.stages) == 1
+    assert plan.root_stage.fan_in == 1
+    assert plan.num_segments == 1
+
+
+def test_root_among_sources_is_rejected():
+    _, ft = _fabric()
+    with pytest.raises(ValueError):
+        build_reduction_plan(ft, sources=range(5), root=4)
+
+
+def test_empty_sources_are_rejected():
+    _, ft = _fabric()
+    with pytest.raises(ValueError):
+        build_reduction_plan(ft, sources=[], root=4)
+
+
+def test_aggregation_engines_are_created_once_per_vertex():
+    _, ft = _fabric()
+    made = []
+
+    def factory():
+        made.append(object())
+        return made[-1]
+
+    first = ft.aggregation_engine("p0e0", factory)
+    again = ft.aggregation_engine("p0e0", factory)
+    other = ft.aggregation_engine("p0e1", factory)
+    assert first is again
+    assert first is not other
+    assert len(made) == 2
+    assert set(ft.aggregation_engines) == {"p0e0", "p0e1"}

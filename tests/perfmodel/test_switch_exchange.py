@@ -1,0 +1,98 @@
+"""Size-only exchange model under in-network aggregation.
+
+``simulate_wa_exchange(agg_site="switch")`` routes sized payloads over
+the fabric's reduction tree instead of point-to-point worker->aggregator
+sends.  The wins and the guardrails both live here: fewer link-level
+bytes than the endpoint site, engine cycles accounted at the merge
+vertices, and loud rejections for every configuration the site cannot
+serve.
+"""
+
+import pytest
+
+from repro.perfmodel import simulate_ring_exchange, simulate_wa_exchange
+
+NBYTES = 1 << 20
+
+
+def _wa(agg_site, **kwargs):
+    from repro.core import profile_for
+
+    kwargs.setdefault("topology", "fat-tree:k=4")
+    kwargs.setdefault("stream", profile_for("lossless_hc"))
+    kwargs.setdefault("iterations", 1)
+    return simulate_wa_exchange(
+        num_workers=4,
+        nbytes=NBYTES,
+        agg_site=agg_site,
+        **kwargs,
+    )
+
+
+def test_switch_site_reduces_link_bytes():
+    endpoint = _wa("endpoint")
+    switch = _wa("switch")
+    assert switch.link_payload_nbytes < endpoint.link_payload_nbytes
+    assert endpoint.link_payload_nbytes > 0
+
+
+def test_switch_site_accounts_engine_work():
+    switch = _wa("switch")
+    assert switch.agg_engine_cycles > 0
+    assert switch.switch_reductions > 0
+
+
+def test_endpoint_site_has_no_engine_work():
+    endpoint = _wa("endpoint")
+    assert endpoint.agg_engine_cycles == 0
+    assert endpoint.switch_reductions == 0
+
+
+def test_iterations_scale_the_reductions():
+    one = _wa("switch")
+    two = _wa("switch", iterations=2)
+    assert two.switch_reductions == 2 * one.switch_reductions
+    assert two.agg_engine_cycles == 2 * one.agg_engine_cycles
+
+
+class TestRejections:
+    def test_flow_fidelity(self):
+        with pytest.raises(ValueError):
+            _wa("switch", fidelity="flow")
+
+    def test_star_topology(self):
+        with pytest.raises(ValueError, match="multi-tier"):
+            _wa("switch", topology=None)
+
+    def test_raw_stream(self):
+        with pytest.raises(ValueError):
+            simulate_wa_exchange(
+                num_workers=4,
+                nbytes=NBYTES,
+                topology="fat-tree:k=4",
+                agg_site="switch",
+            )
+
+    def test_non_homomorphic_codec(self):
+        from repro.core import profile_for
+
+        with pytest.raises(ValueError, match="homomorphic"):
+            simulate_wa_exchange(
+                num_workers=4,
+                nbytes=NBYTES,
+                topology="fat-tree:k=4",
+                stream=profile_for("inceptionn"),
+                agg_site="switch",
+            )
+
+    def test_ring_has_no_root(self):
+        with pytest.raises(ValueError, match="reduction root"):
+            simulate_ring_exchange(
+                num_workers=4, nbytes=NBYTES, agg_site="switch"
+            )
+
+    def test_bogus_site(self):
+        with pytest.raises(ValueError, match="agg_site"):
+            simulate_wa_exchange(
+                num_workers=4, nbytes=NBYTES, agg_site="nic"
+            )
